@@ -1,0 +1,61 @@
+// Benchmarks regenerating every figure of the paper's evaluation at full
+// scale. Each benchmark runs the corresponding experiment end to end
+// (topology synthesis, placement, strategy optimization or protocol
+// simulation, and table assembly), so `go test -bench=.` reproduces the
+// complete evaluation; see EXPERIMENTS.md for the recorded outputs.
+package quorumnet_test
+
+import (
+	"testing"
+
+	quorumnet "github.com/quorumnet/quorumnet"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	exp, err := quorumnet.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := quorumnet.DefaultExperimentParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := exp.Run(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// §3: the Q/U protocol simulation (discrete-event, 5-run averages).
+
+func BenchmarkFig31(b *testing.B)  { benchFigure(b, "fig3.1") }
+func BenchmarkFig32a(b *testing.B) { benchFigure(b, "fig3.2a") }
+func BenchmarkFig32b(b *testing.B) { benchFigure(b, "fig3.2b") }
+
+// §6: low client demand — one-to-one placements, closest access.
+
+func BenchmarkFig63(b *testing.B) { benchFigure(b, "fig6.3") }
+
+// §7: high client demand — strategies, capacity sweeps, the heuristic.
+
+func BenchmarkFig64(b *testing.B) { benchFigure(b, "fig6.4") }
+func BenchmarkFig65(b *testing.B) { benchFigure(b, "fig6.5") }
+func BenchmarkFig76(b *testing.B) { benchFigure(b, "fig7.6") }
+func BenchmarkFig77(b *testing.B) { benchFigure(b, "fig7.7") }
+func BenchmarkFig78(b *testing.B) { benchFigure(b, "fig7.8") }
+
+// §8: the iterative many-to-one algorithm.
+
+func BenchmarkFig89(b *testing.B) { benchFigure(b, "fig8.9") }
+
+// Ablation studies (beyond the paper; see DESIGN.md §6).
+
+func BenchmarkAblDedup(b *testing.B)     { benchFigure(b, "abl-dedup") }
+func BenchmarkAblAnchor(b *testing.B)    { benchFigure(b, "abl-anchor") }
+func BenchmarkAblFailures(b *testing.B)  { benchFigure(b, "abl-failures") }
+func BenchmarkAblSweep(b *testing.B)     { benchFigure(b, "abl-sweep") }
+func BenchmarkAblBaselines(b *testing.B) { benchFigure(b, "abl-baselines") }

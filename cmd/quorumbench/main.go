@@ -1,0 +1,97 @@
+// Command quorumbench regenerates the paper's figures as text tables.
+//
+// Usage:
+//
+//	quorumbench -list
+//	quorumbench -fig 6.3
+//	quorumbench -all
+//	quorumbench -all -markdown > results.md
+//	quorumbench -fig 3.1 -seed 7 -runs 3 -duration 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/experiments"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure or ablation to regenerate (e.g. 6.3, fig6.3, abl-dedup)")
+		all       = flag.Bool("all", false, "regenerate every paper figure")
+		ablations = flag.Bool("ablations", false, "regenerate the ablation studies")
+		list      = flag.Bool("list", false, "list available figures and ablations")
+		markdown  = flag.Bool("markdown", false, "emit markdown tables")
+		quick     = flag.Bool("quick", false, "reduced scale (for smoke testing)")
+		seed      = flag.Int64("seed", topology.DefaultSeed, "topology/protocol seed")
+		runs      = flag.Int("runs", 5, "protocol simulation runs per point")
+		duration  = flag.Float64("duration", 20000, "protocol simulation length (ms)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := experiments.Params{
+		Seed:         *seed,
+		QURuns:       *runs,
+		QUDurationMS: *duration,
+		Quick:        *quick,
+	}
+
+	var todo []experiments.Experiment
+	switch {
+	case *all:
+		todo = experiments.All()
+	case *ablations:
+		todo = experiments.Ablations()
+	case *fig != "":
+		id := *fig
+		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "abl") {
+			id = "fig" + id
+		}
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		todo = []experiments.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -fig <id>, -all, -ablations, or -list")
+		os.Exit(2)
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tb, err := e.Run(params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if *markdown {
+			if err := tb.FormatMarkdown(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := tb.Format(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quorumbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command topogen generates the synthetic wide-area topologies used by
+// the experiments and writes them in the quorumnet text format, or prints
+// statistics about an existing topology file.
+//
+// Usage:
+//
+//	topogen -name planetlab-50 -o planetlab50.topo
+//	topogen -name daxlist-161 -seed 7 -o daxlist161.topo
+//	topogen -stats planetlab50.topo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "planetlab-50", "topology to generate: planetlab-50 or daxlist-161")
+		seed  = flag.Int64("seed", topology.DefaultSeed, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		stats = flag.String("stats", "", "print statistics for an existing topology file and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		f, err := os.Open(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		t, err := topology.Load(f)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(t)
+		return
+	}
+
+	var t *topology.Topology
+	switch *name {
+	case "planetlab-50":
+		t = topology.PlanetLab50(*seed)
+	case "daxlist-161":
+		t = topology.Daxlist161(*seed)
+	default:
+		fatal(fmt.Errorf("unknown topology %q (want planetlab-50 or daxlist-161)", *name))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := topology.Save(w, t); err != nil {
+		fatal(err)
+	}
+}
+
+func printStats(t *topology.Topology) {
+	st := t.Stats()
+	fmt.Printf("name:        %s\n", t.Name())
+	fmt.Printf("sites:       %d\n", st.Sites)
+	fmt.Printf("avg RTT:     %.1f ms\n", st.AvgRTT)
+	fmt.Printf("RTT range:   %.1f – %.1f ms\n", st.MinRTT, st.MaxRTT)
+	fmt.Printf("median site: %d (%s), avg RTT to it %.1f ms\n",
+		st.MedianSite, t.Site(st.MedianSite).Name, st.MedianAvgRTT)
+	regions := make([]string, 0, len(st.Regions))
+	for r := range st.Regions {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		fmt.Printf("  region %-12s %d sites\n", r, st.Regions[r])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package quorumnet_test
+
+import (
+	"fmt"
+	"log"
+
+	quorumnet "github.com/quorumnet/quorumnet"
+)
+
+// Evaluate a Grid quorum system placement under low and high demand.
+func Example() {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	sys, err := quorumnet.NewGrid(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := quorumnet.OneToOne(topo, sys, quorumnet.PlacementOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := quorumnet.NewEval(topo, sys, f, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sites: %d, network delay with closest access: %.0f ms\n",
+		topo.Size(), e.AvgNetworkDelay(quorumnet.Closest))
+	// Output:
+	// sites: 50, network delay with closest access: 96 ms
+}
+
+// Optimize per-client access strategies with the LP of §4.2 under a
+// uniform capacity limit.
+func ExampleOptimizeStrategies() {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	sys, err := quorumnet.NewGrid(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := quorumnet.OneToOne(topo, sys, quorumnet.PlacementOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := quorumnet.NewEval(topo, sys, f, quorumnet.AlphaForDemand(16000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := make([]float64, topo.Size())
+	for w := range caps {
+		caps[w] = 0.6
+	}
+	res, err := quorumnet.OptimizeStrategies(e, caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized network delay: %.0f ms\n", res.AvgNetDelay)
+	// Output:
+	// optimized network delay: 89 ms
+}
+
+// Restrict an evaluation to the survivors of a node failure.
+func ExampleApplyFailures() {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	sys, err := quorumnet.SimpleMajority(3) // majority(4,7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := quorumnet.OneToOne(topo, sys, quorumnet.PlacementOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := quorumnet.NewEval(topo, sys, f, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := quorumnet.WorstCaseFailure(e, 2)
+	fe, err := quorumnet.ApplyFailures(e, failed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("survivors: %d of %d elements\n",
+		fe.Sys.UniverseSize(), sys.UniverseSize())
+	// Output:
+	// survivors: 5 of 7 elements
+}
+
+// Simulate the Q/U protocol's single-round path over the discrete-event
+// WAN model.
+func ExampleRunProtocol() {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	m, err := quorumnet.RunProtocol(quorumnet.ProtocolConfig{
+		Topo:          topo,
+		ServerSites:   []int{0, 1, 2, 3, 4, 5},
+		QuorumSize:    5,
+		ClientSites:   []int{10, 20, 30},
+		ServiceTimeMS: 1,
+		DurationMS:    5000,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("response at least network delay: %v\n",
+		m.AvgResponseMS >= m.AvgNetDelayMS)
+	// Output:
+	// response at least network delay: true
+}

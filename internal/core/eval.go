@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// Eval evaluates a (topology, system, placement) triple under the paper's
+// response-time model. The zero value is unusable; construct with NewEval
+// and adjust fields before calling measures.
+type Eval struct {
+	Topo *topology.Topology
+	Sys  quorum.System
+	F    Placement
+	// Alpha converts per-node load into milliseconds of processing delay:
+	// alpha = op_srv_time × client_demand (§7). Zero evaluates pure
+	// network delay (§6).
+	Alpha float64
+	// Clients lists the client nodes. The paper takes V itself as the
+	// client set; NewEval defaults to all nodes.
+	Clients []int
+	// Mode selects the load model; NewEval defaults to LoadMultiplicity
+	// (the paper's definition).
+	Mode LoadMode
+
+	clientPos map[int]int // node id → index into Clients
+	weights   []float64   // per-client demand weights; nil = uniform
+	quorums   [][]int     // memoized enumerated quorums (enumerable systems)
+}
+
+// OpServiceTimeMS is the per-request server processing time the paper
+// measured for a Q/U write on its hardware, used to derive Alpha.
+const OpServiceTimeMS = 0.007
+
+// AlphaForDemand returns alpha = OpServiceTimeMS × clientDemand (§7).
+func AlphaForDemand(clientDemand float64) float64 {
+	return OpServiceTimeMS * clientDemand
+}
+
+// NewEval validates the triple and returns an evaluator with all nodes as
+// clients, the multiplicity load model, and the given alpha.
+func NewEval(topo *topology.Topology, sys quorum.System, f Placement, alpha float64) (*Eval, error) {
+	if topo == nil || sys == nil {
+		return nil, fmt.Errorf("core: nil topology or system")
+	}
+	if f.UniverseSize() != sys.UniverseSize() {
+		return nil, fmt.Errorf("core: placement covers %d elements but %s has %d",
+			f.UniverseSize(), sys.Name(), sys.UniverseSize())
+	}
+	if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("core: invalid alpha %v", alpha)
+	}
+	clients := make([]int, topo.Size())
+	for i := range clients {
+		clients[i] = i
+	}
+	e := &Eval{
+		Topo:    topo,
+		Sys:     sys,
+		F:       f,
+		Alpha:   alpha,
+		Clients: clients,
+		Mode:    LoadMultiplicity,
+	}
+	e.reindex()
+	return e, nil
+}
+
+// SetClients restricts the client set (e.g. the ten client sites of the
+// §3 experiment).
+func (e *Eval) SetClients(clients []int) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("core: empty client set")
+	}
+	for _, v := range clients {
+		if v < 0 || v >= e.Topo.Size() {
+			return fmt.Errorf("core: client node %d out of range", v)
+		}
+	}
+	e.Clients = append([]int(nil), clients...)
+	e.reindex()
+	return nil
+}
+
+func (e *Eval) reindex() {
+	e.clientPos = make(map[int]int, len(e.Clients))
+	for k, v := range e.Clients {
+		e.clientPos[v] = k
+	}
+	e.weights = nil // weights are positional; invalidate on client change
+}
+
+// SetClientWeights assigns relative demand weights to the clients
+// (positionally aligned with Clients). The paper weighs every client
+// equally; weights generalize the model to heterogeneous demand: load and
+// response-time averages become weighted means, and the strategy LP
+// scales each client's contribution accordingly. Weights must be positive
+// and are normalized internally; call after SetClients.
+func (e *Eval) SetClientWeights(weights []float64) error {
+	if len(weights) != len(e.Clients) {
+		return fmt.Errorf("core: %d weights for %d clients", len(weights), len(e.Clients))
+	}
+	total := 0.0
+	for k, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: invalid weight %v for client %d", w, k)
+		}
+		total += w
+	}
+	norm := make([]float64, len(weights))
+	for k, w := range weights {
+		norm[k] = w / total
+	}
+	e.weights = norm
+	return nil
+}
+
+// ClientWeight returns client v's normalized demand share.
+func (e *Eval) ClientWeight(v int) float64 {
+	k := e.clientIndex(v)
+	if e.weights == nil {
+		return 1 / float64(len(e.Clients))
+	}
+	return e.weights[k]
+}
+
+func (e *Eval) clientIndex(v int) int {
+	k, ok := e.clientPos[v]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d is not a client", v))
+	}
+	return k
+}
+
+// quorumElems memoizes enumerated quorums.
+func (e *Eval) quorumElems(i int) []int {
+	if e.quorums == nil {
+		e.quorums = make([][]int, e.Sys.NumQuorums())
+	}
+	if e.quorums[i] == nil {
+		e.quorums[i] = e.Sys.Quorum(i)
+	}
+	return e.quorums[i]
+}
+
+// elementNetCosts returns d(v, f(u)) for every element u.
+func (e *Eval) elementNetCosts(v int) []float64 {
+	row := e.Topo.RTTRow(v)
+	out := make([]float64, e.F.UniverseSize())
+	for u := range out {
+		out[u] = row[e.F.Node(u)]
+	}
+	return out
+}
+
+// NodeLoads returns load_f(w): the (weighted) average over clients of
+// load_{v,f}(w), the quantity multiplied by alpha in (4.1).
+func (e *Eval) NodeLoads(s Strategy) []float64 {
+	loads := make([]float64, e.Topo.Size())
+	for _, v := range e.Clients {
+		wv := e.ClientWeight(v)
+		for w, l := range s.ClientNodeLoads(e, v, e.Mode) {
+			loads[w] += wv * l
+		}
+	}
+	return loads
+}
+
+// MaxNodeLoad returns the largest per-node load under the strategy.
+func (e *Eval) MaxNodeLoad(s Strategy) float64 {
+	maxL := 0.0
+	for _, l := range e.NodeLoads(s) {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
+}
+
+// AvgResponseTime returns the paper's objective avg_v Δ_f(v) with the
+// evaluator's alpha.
+func (e *Eval) AvgResponseTime(s Strategy) float64 {
+	return e.avgExpectedMax(s, e.Alpha)
+}
+
+// AvgNetworkDelay returns the same average with alpha = 0: the pure
+// network-delay measure of §6.
+func (e *Eval) AvgNetworkDelay(s Strategy) float64 {
+	return e.avgExpectedMax(s, 0)
+}
+
+// ClientResponseTime returns Δ_f(v) for one client.
+func (e *Eval) ClientResponseTime(s Strategy, v int) float64 {
+	loads := e.NodeLoads(s)
+	return s.ExpectedMax(e, v, e.elementCosts(v, loads, e.Alpha))
+}
+
+func (e *Eval) avgExpectedMax(s Strategy, alpha float64) float64 {
+	var loads []float64
+	if alpha != 0 {
+		loads = e.NodeLoads(s)
+	}
+	sum := 0.0
+	for _, v := range e.Clients {
+		sum += e.ClientWeight(v) * s.ExpectedMax(e, v, e.elementCosts(v, loads, alpha))
+	}
+	return sum
+}
+
+// elementCosts returns d(v, f(u)) + alpha·load(f(u)) per element.
+func (e *Eval) elementCosts(v int, loads []float64, alpha float64) []float64 {
+	row := e.Topo.RTTRow(v)
+	out := make([]float64, e.F.UniverseSize())
+	for u := range out {
+		w := e.F.Node(u)
+		c := row[w]
+		if alpha != 0 {
+			c += alpha * loads[w]
+		}
+		out[u] = c
+	}
+	return out
+}
+
+// Profile bundles the measures reported in the paper's figures.
+type Profile struct {
+	Strategy    string
+	AvgResponse float64 // avg_v Δ_f(v) with alpha
+	AvgNetDelay float64 // same with alpha = 0
+	MaxNodeLoad float64
+}
+
+// Profile computes all measures for one strategy.
+func (e *Eval) Profile(s Strategy) Profile {
+	return Profile{
+		Strategy:    s.Name(),
+		AvgResponse: e.AvgResponseTime(s),
+		AvgNetDelay: e.AvgNetworkDelay(s),
+		MaxNodeLoad: e.MaxNodeLoad(s),
+	}
+}

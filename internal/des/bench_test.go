@@ -1,0 +1,38 @@
+package des
+
+import "testing"
+
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var s Simulator
+	remaining := b.N
+	var pump func()
+	pump = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		if err := s.Schedule(1, pump); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	pump()
+	s.Run()
+}
+
+func BenchmarkDeepQueue(b *testing.B) {
+	// Heap behaviour with many co-pending events.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var s Simulator
+		for j := 0; j < 10000; j++ {
+			if err := s.Schedule(float64(10000-j), func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		s.Run()
+	}
+}

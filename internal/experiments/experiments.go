@@ -1,0 +1,180 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (there are no numbered tables): the Q/U protocol measurements of §3,
+// the low-demand placement comparison of §6, the high-demand strategy and
+// capacity studies of §7, and the iterative-algorithm study of §8.
+// Each runner returns a Table whose rows correspond to the points of the
+// original figure; cmd/quorumbench prints them and the benchmarks in the
+// repository root regenerate them under `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// Params controls experiment scale. DefaultParams reproduces the paper's
+// settings; Quick shrinks everything for fast integration tests.
+type Params struct {
+	// Seed drives topology synthesis and protocol randomness.
+	Seed int64
+	// QURuns is how many simulation runs are averaged per point (the
+	// paper uses 5).
+	QURuns int
+	// QUDurationMS is the simulated length of each protocol run.
+	QUDurationMS float64
+	// Quick trims universe sizes and sweep resolution for tests.
+	Quick bool
+}
+
+// DefaultParams mirrors the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		Seed:         topology.DefaultSeed,
+		QURuns:       5,
+		QUDurationMS: 20000,
+	}
+}
+
+func (p Params) quRuns() int {
+	if p.QURuns <= 0 {
+		return 5
+	}
+	if p.Quick && p.QURuns > 2 {
+		return 2
+	}
+	return p.QURuns
+}
+
+func (p Params) quDuration() float64 {
+	d := p.QUDurationMS
+	if d <= 0 {
+		d = 20000
+	}
+	if p.Quick && d > 3000 {
+		d = 3000
+	}
+	return d
+}
+
+// Table is a figure regenerated as rows of formatted cells.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records the shape claims the paper makes about this figure,
+	// for comparison in EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d cells, table %s has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format writes the table as aligned text.
+func (t *Table) Format(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	return nil
+}
+
+// FormatMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) FormatMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "- %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Cell returns the numeric value of a cell (tests and shape checks).
+func (t *Table) Cell(row, col int) (float64, error) {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Columns) {
+		return 0, fmt.Errorf("experiments: cell (%d,%d) out of range", row, col)
+	}
+	return strconv.ParseFloat(t.Rows[row][col], 64)
+}
+
+// Col returns the index of a named column.
+func (t *Table) Col(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: table %s has no column %q", t.ID, name)
+}
+
+func f2(v float64) string  { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f3(v float64) string  { return strconv.FormatFloat(v, 'f', 3, 64) }
+func itoa(v int) string    { return strconv.Itoa(v) }
+func cell(s string) string { return s }
+
+// Experiment pairs a figure id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) (*Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig3.1", Title: "Q/U response time and network delay vs clients × universe size (PlanetLab-50)", Run: Fig31},
+		{ID: "fig3.2a", Title: "Q/U delay components vs faults t at 100 clients", Run: Fig32a},
+		{ID: "fig3.2b", Title: "Q/U delay components vs client count at t=4 (n=21)", Run: Fig32b},
+		{ID: "fig6.3", Title: "Response time vs universe size, closest access, alpha=0 (PlanetLab-50)", Run: Fig63},
+		{ID: "fig6.4", Title: "Grid response: closest vs balanced at demand 1000/4000 (daxlist-161)", Run: Fig64},
+		{ID: "fig6.5", Title: "Grid delay components: closest vs balanced at demand 16000 (daxlist-161)", Run: Fig65},
+		{ID: "fig7.6", Title: "Grid response vs universe × uniform capacity, LP strategies, demand 16000 (PlanetLab-50)", Run: Fig76},
+		{ID: "fig7.7", Title: "Uniform vs non-uniform capacities across universe sizes (PlanetLab-50)", Run: Fig77},
+		{ID: "fig7.8", Title: "7×7 Grid: response vs capacity, uniform vs non-uniform (PlanetLab-50)", Run: Fig78},
+		{ID: "fig8.9", Title: "Iterative algorithm network delay vs capacity, 5×5 Grid (PlanetLab-50)", Run: Fig89},
+	}
+}
+
+// ByID returns the experiment (figure or ablation) with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	for _, e := range Ablations() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown figure %q", id)
+}

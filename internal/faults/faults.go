@@ -1,0 +1,296 @@
+// Package faults evaluates quorum deployments under node failures,
+// quantifying the fault-tolerance argument of §6: the paper accepts a
+// response-time cost for one-to-one placements precisely because quorum
+// systems stay available when nodes fail, unlike the singleton baseline.
+// The paper defers failure studies to future work ("ours is limited in
+// considering only 'normal' conditions"); this package provides the
+// machinery as an extension: response-time evaluation on the surviving
+// system and availability estimation under independent node failures.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/graph"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// Apply restricts an evaluation to the survivors of the given node
+// failures: universe elements placed on failed nodes die, the quorum
+// system is restricted to quorums of surviving elements, and failed nodes
+// leave the client set. It returns quorum.ErrNoQuorumSurvives (wrapped)
+// when the failure makes the service unavailable.
+func Apply(e *core.Eval, failedNodes []int) (*core.Eval, error) {
+	failed := make([]bool, e.Topo.Size())
+	for _, w := range failedNodes {
+		if w < 0 || w >= e.Topo.Size() {
+			return nil, fmt.Errorf("faults: node %d out of range [0,%d)", w, e.Topo.Size())
+		}
+		failed[w] = true
+	}
+
+	var dead []int
+	for u := 0; u < e.F.UniverseSize(); u++ {
+		if failed[e.F.Node(u)] {
+			dead = append(dead, u)
+		}
+	}
+	sv, err := quorum.Survive(e.Sys, dead)
+	if err != nil {
+		return nil, err
+	}
+
+	targets := make([]int, len(sv.AliveIndex))
+	for i, orig := range sv.AliveIndex {
+		targets[i] = e.F.Node(orig)
+	}
+	f, err := core.NewPlacement(targets, e.Topo)
+	if err != nil {
+		return nil, err
+	}
+
+	out, err := core.NewEval(e.Topo, sv.Sub, f, e.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	out.Mode = e.Mode
+	var clients []int
+	for _, v := range e.Clients {
+		if !failed[v] {
+			clients = append(clients, v)
+		}
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("faults: every client node failed")
+	}
+	if err := out.SetClients(clients); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Slowdown models degraded (rather than crashed) nodes: every path to or
+// from a slowed node has its delay multiplied by factor (> 1). The
+// returned evaluation uses a fresh topology whose metric is re-closed, so
+// traffic may route around the slow nodes, and shares the original's
+// system, placement, alpha, load mode, and clients.
+func Slowdown(e *core.Eval, slowNodes []int, factor float64) (*core.Eval, error) {
+	if factor < 1 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("faults: slowdown factor %v must be >= 1", factor)
+	}
+	slow := make([]bool, e.Topo.Size())
+	for _, w := range slowNodes {
+		if w < 0 || w >= e.Topo.Size() {
+			return nil, fmt.Errorf("faults: node %d out of range [0,%d)", w, e.Topo.Size())
+		}
+		slow[w] = true
+	}
+
+	n := e.Topo.Size()
+	m := graph.NewMatrix(n)
+	sites := make([]topology.Site, n)
+	for i := 0; i < n; i++ {
+		sites[i] = e.Topo.Site(i)
+		for j := i + 1; j < n; j++ {
+			d := e.Topo.RTT(i, j)
+			if slow[i] || slow[j] {
+				d *= factor
+			}
+			m.Set(i, j, d)
+		}
+	}
+	m.MetricClosure()
+	topo, err := topology.New(e.Topo.Name()+"-degraded", sites, m)
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < n; w++ {
+		if err := topo.SetCapacity(w, e.Topo.Capacity(w)); err != nil {
+			return nil, err
+		}
+	}
+
+	f, err := core.NewPlacement(e.F.Targets(), topo)
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.NewEval(topo, e.Sys, f, e.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	out.Mode = e.Mode
+	if err := out.SetClients(e.Clients); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SurvivesElementFailure reports whether some quorum avoids all dead
+// elements, without constructing the survivor system (cheap enough for
+// Monte Carlo loops).
+func SurvivesElementFailure(s quorum.System, dead []bool) bool {
+	if t, ok := s.(quorum.Threshold); ok {
+		alive := 0
+		for u := 0; u < t.UniverseSize(); u++ {
+			if !dead[u] {
+				alive++
+			}
+		}
+		return alive >= t.QuorumSize()
+	}
+	if g, ok := s.(quorum.Grid); ok {
+		k := g.Dim()
+		rowDead := make([]bool, k)
+		colDead := make([]bool, k)
+		for u := 0; u < k*k; u++ {
+			if dead[u] {
+				rowDead[u/k] = true
+				colDead[u%k] = true
+			}
+		}
+		rowAlive, colAlive := false, false
+		for i := 0; i < k; i++ {
+			if !rowDead[i] {
+				rowAlive = true
+			}
+			if !colDead[i] {
+				colAlive = true
+			}
+		}
+		return rowAlive && colAlive
+	}
+	if !s.Enumerable() {
+		return false
+	}
+	for i := 0; i < s.NumQuorums(); i++ {
+		ok := true
+		for _, u := range s.Quorum(i) {
+			if dead[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Availability estimates, by Monte Carlo with the given seed, the
+// probability that some quorum survives when every node fails
+// independently with probability pFail. Elements die with the node
+// hosting them, so many-to-one placements correctly share fate.
+func Availability(e *core.Eval, pFail float64, trials int, seed int64) (float64, error) {
+	if pFail < 0 || pFail > 1 || math.IsNaN(pFail) {
+		return 0, fmt.Errorf("faults: failure probability %v out of [0,1]", pFail)
+	}
+	if trials <= 0 {
+		return 0, fmt.Errorf("faults: non-positive trial count %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	support := e.F.Support()
+	dead := make([]bool, e.Sys.UniverseSize())
+	up := 0
+	for trial := 0; trial < trials; trial++ {
+		for u := range dead {
+			dead[u] = false
+		}
+		for _, w := range support {
+			if rng.Float64() < pFail {
+				for _, u := range e.F.ElementsOn(w) {
+					dead[u] = true
+				}
+			}
+		}
+		if SurvivesElementFailure(e.Sys, dead) {
+			up++
+		}
+	}
+	return float64(up) / float64(trials), nil
+}
+
+// ThresholdAvailabilityExact computes the survival probability of a
+// one-to-one placed threshold system under independent node failures:
+// P(Binomial(n, 1−p) ≥ q).
+func ThresholdAvailabilityExact(q, n int, pFail float64) (float64, error) {
+	if q <= 0 || q > n {
+		return 0, fmt.Errorf("faults: invalid threshold (%d,%d)", q, n)
+	}
+	if pFail < 0 || pFail > 1 || math.IsNaN(pFail) {
+		return 0, fmt.Errorf("faults: failure probability %v out of [0,1]", pFail)
+	}
+	switch pFail {
+	case 0:
+		return 1, nil
+	case 1:
+		return 0, nil
+	}
+	// Sum P(alive = k) for k = q..n with a stable multiplicative update.
+	pAlive := 1 - pFail
+	total := 0.0
+	// P(alive = k) = C(n,k) pAlive^k pFail^(n-k); iterate from k = n down.
+	logP := float64(n) * math.Log(pAlive+1e-300)
+	prob := math.Exp(logP) // P(alive = n)
+	for k := n; k >= q; k-- {
+		total += prob
+		// Move to k-1: multiply by C(n,k-1)/C(n,k) · pFail/pAlive
+		//            = k/(n-k+1) · pFail/pAlive.
+		if k > 0 {
+			prob *= float64(k) / float64(n-k+1) * (pFail / pAlive)
+		}
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// WorstCaseFailure returns the f support nodes whose failure maximizes
+// damage under a greedy criterion: repeatedly fail the node hosting the
+// most still-alive elements (ties toward the node closest to the
+// clients, which hurts the closest strategy most). It is a deterministic
+// adversary for response-time-under-failure experiments.
+func WorstCaseFailure(e *core.Eval, f int) []int {
+	type cand struct {
+		node   int
+		elems  int
+		avgRTT float64
+	}
+	support := e.F.Support()
+	var cands []cand
+	for _, w := range support {
+		s := 0.0
+		for _, v := range e.Clients {
+			s += e.Topo.RTT(v, w)
+		}
+		cands = append(cands, cand{
+			node:   w,
+			elems:  len(e.F.ElementsOn(w)),
+			avgRTT: s / float64(len(e.Clients)),
+		})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].elems != cands[b].elems {
+			return cands[a].elems > cands[b].elems
+		}
+		if cands[a].avgRTT != cands[b].avgRTT {
+			return cands[a].avgRTT < cands[b].avgRTT
+		}
+		return cands[a].node < cands[b].node
+	})
+	if f > len(cands) {
+		f = len(cands)
+	}
+	out := make([]int, f)
+	for i := 0; i < f; i++ {
+		out[i] = cands[i].node
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// assignmentLP builds a jobs×machines assignment relaxation, the LP shape
+// the placement pipeline solves most often.
+func assignmentLP(b *testing.B, jobs, machines int, seed int64) *Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(jobs * machines)
+	obj := make([]float64, jobs*machines)
+	for i := range obj {
+		obj[i] = rng.Float64() * 10
+	}
+	if err := p.SetObjective(obj); err != nil {
+		b.Fatal(err)
+	}
+	ones := make([]float64, machines)
+	idx := make([]int, machines)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for j := 0; j < jobs; j++ {
+		for m := 0; m < machines; m++ {
+			idx[m] = j*machines + m
+		}
+		if err := p.AddConstraint(idx, ones, EQ, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	jidx := make([]int, jobs)
+	jones := make([]float64, jobs)
+	for j := range jones {
+		jones[j] = 1
+	}
+	for m := 0; m < machines; m++ {
+		for j := 0; j < jobs; j++ {
+			jidx[j] = j*machines + m
+		}
+		if err := p.AddConstraint(jidx, jones, LE, float64(jobs)/float64(machines)*1.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+func BenchmarkSolveAssignment25x50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := assignmentLP(b, 25, 50, int64(i))
+		b.StartTimer()
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveAssignment144x50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := assignmentLP(b, 144, 50, int64(i))
+		b.StartTimer()
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

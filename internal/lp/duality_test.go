@@ -1,0 +1,157 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestStrongDuality: at the optimum, the dual objective Σ y_i b_i must
+// equal the primal objective (strong duality), and the duals must price
+// the columns correctly: c_j − Σ_i y_i a_ij ≥ 0 for every variable
+// (dual feasibility / non-negative reduced costs at optimality).
+func TestStrongDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		p := NewProblem(nv)
+		obj := make([]float64, nv)
+		for j := range obj {
+			obj[j] = rng.Float64() * 5 // non-negative costs: bounded LP
+		}
+		if err := p.SetObjective(obj); err != nil {
+			return false
+		}
+		type row struct {
+			a   []float64
+			op  Op
+			rhs float64
+		}
+		var rows []row
+		// A couple of >= rows force non-trivial optima; box rows keep the
+		// region bounded.
+		for i := 0; i < 2; i++ {
+			a := make([]float64, nv)
+			idx := make([]int, nv)
+			for j := range a {
+				a[j] = 0.2 + rng.Float64()
+				idx[j] = j
+			}
+			rhs := 1 + rng.Float64()*3
+			if err := p.AddConstraint(idx, a, GE, rhs); err != nil {
+				return false
+			}
+			rows = append(rows, row{a: a, op: GE, rhs: rhs})
+		}
+		for j := 0; j < nv; j++ {
+			if err := p.AddConstraint([]int{j}, []float64{1}, LE, 10); err != nil {
+				return false
+			}
+			a := make([]float64, nv)
+			a[j] = 1
+			rows = append(rows, row{a: a, op: LE, rhs: 10})
+		}
+
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		// Strong duality.
+		dualObj := 0.0
+		for i, r := range rows {
+			dualObj += sol.Duals[i] * r.rhs
+		}
+		if math.Abs(dualObj-sol.Objective) > 1e-6 {
+			return false
+		}
+		// Dual feasibility: reduced costs non-negative.
+		for j := 0; j < nv; j++ {
+			reduced := obj[j]
+			for i, r := range rows {
+				reduced -= sol.Duals[i] * r.a[j]
+			}
+			if reduced < -1e-6 {
+				return false
+			}
+		}
+		// Dual sign conventions for a minimization: y ≥ 0 on ≥ rows,
+		// y ≤ 0 on ≤ rows.
+		for i, r := range rows {
+			switch r.op {
+			case GE:
+				if sol.Duals[i] < -1e-7 {
+					return false
+				}
+			case LE:
+				if sol.Duals[i] > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComplementarySlackness: a constraint with nonzero dual must be
+// tight at the optimum.
+func TestComplementarySlackness(t *testing.T) {
+	// min 2x + y s.t. x + y >= 3, x >= 1, x,y <= 10.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustConstraint(t, p, []int{0, 1}, []float64{1, 1}, GE, 3)
+	mustConstraint(t, p, []int{0}, []float64{1}, GE, 1)
+	mustConstraint(t, p, []int{0}, []float64{1}, LE, 10)
+	mustConstraint(t, p, []int{1}, []float64{1}, LE, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum x=1, y=2: row 0 tight (dual = 1: raising demand raises cost
+	// by 1 via y), row 1 tight (dual = 1: x is costlier than y by 1),
+	// rows 2-3 slack → dual 0.
+	lhs := []float64{sol.X[0] + sol.X[1], sol.X[0], sol.X[0], sol.X[1]}
+	rhs := []float64{3, 1, 10, 10}
+	for i := range rhs {
+		slack := math.Abs(lhs[i] - rhs[i])
+		if slack > 1e-7 && math.Abs(sol.Duals[i]) > 1e-7 {
+			t.Errorf("row %d: slack %v but dual %v", i, slack, sol.Duals[i])
+		}
+	}
+	if math.Abs(sol.Duals[0]-1) > 1e-7 || math.Abs(sol.Duals[1]-1) > 1e-7 {
+		t.Errorf("duals = %v, want [1 1 0 0]", sol.Duals)
+	}
+}
+
+// TestDualPredictsSensitivity: perturbing a tight constraint's rhs by eps
+// changes the optimum by about dual·eps.
+func TestDualPredictsSensitivity(t *testing.T) {
+	build := func(demand float64) *Problem {
+		p := NewProblem(2)
+		if err := p.SetObjective([]float64{3, 5}); err != nil {
+			t.Fatal(err)
+		}
+		mustConstraint(t, p, []int{0, 1}, []float64{1, 1}, GE, demand)
+		mustConstraint(t, p, []int{0}, []float64{1}, LE, 4)
+		mustConstraint(t, p, []int{1}, []float64{1}, LE, 8)
+		return p
+	}
+	base, err := build(6).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.25
+	bumped, err := build(6 + eps).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := base.Objective + base.Duals[0]*eps
+	if math.Abs(bumped.Objective-predicted) > 1e-6 {
+		t.Errorf("objective after bump = %v, dual predicted %v", bumped.Objective, predicted)
+	}
+}

@@ -1,0 +1,162 @@
+// Package lp is a self-contained linear-programming solver: a two-phase
+// revised simplex method with a dense basis inverse and sparse constraint
+// columns.
+//
+// It stands in for the GNU MathProg / glpsol toolchain the paper used. The
+// LPs this library generates (the access-strategy LP (4.3)–(4.6) and the
+// many-to-one placement relaxation) have up to a few hundred rows and a
+// few tens of thousands of columns, well within reach of a dense revised
+// simplex. Variables are non-negative; upper bounds of the paper's LPs
+// (p ≤ 1) are implied by their convexity rows, so bounded-variable pivots
+// are not needed.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota + 1 // Σ a·x ≤ b
+	GE               // Σ a·x ≥ b
+	EQ               // Σ a·x = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Solver failure modes.
+var (
+	// ErrInfeasible is returned when no assignment satisfies the
+	// constraints (for example, node capacities set below the system's
+	// optimal load).
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	// ErrUnbounded is returned when the objective can decrease without
+	// bound.
+	ErrUnbounded = errors.New("lp: problem is unbounded")
+	// ErrIterationLimit is returned when the simplex fails to converge
+	// within the iteration budget.
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+)
+
+// Problem is a minimization LP over non-negative variables. The zero value
+// is unusable; create with NewProblem.
+type Problem struct {
+	nVars int
+	obj   []float64
+	rows  []conRow
+}
+
+type conRow struct {
+	idx  []int
+	coef []float64
+	op   Op
+	rhs  float64
+}
+
+// NewProblem returns a minimization problem with nVars variables
+// x_0 … x_{nVars-1}, all constrained to x_j ≥ 0, with zero objective.
+func NewProblem(nVars int) *Problem {
+	if nVars <= 0 {
+		panic(fmt.Sprintf("lp: non-positive variable count %d", nVars))
+	}
+	return &Problem{nVars: nVars, obj: make([]float64, nVars)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nVars }
+
+// NumConstraints returns the number of rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective sets the full objective coefficient vector (minimized).
+func (p *Problem) SetObjective(c []float64) error {
+	if len(c) != p.nVars {
+		return fmt.Errorf("lp: objective length %d, want %d", len(c), p.nVars)
+	}
+	copy(p.obj, c)
+	return nil
+}
+
+// SetObjectiveCoeff sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoeff(j int, c float64) error {
+	if j < 0 || j >= p.nVars {
+		return fmt.Errorf("lp: variable %d out of range [0,%d)", j, p.nVars)
+	}
+	p.obj[j] = c
+	return nil
+}
+
+// AddConstraint appends the row Σ coef[k]·x_{idx[k]} (op) rhs. Indices may
+// repeat (coefficients are summed). The slices are copied.
+func (p *Problem) AddConstraint(idx []int, coef []float64, op Op, rhs float64) error {
+	if len(idx) != len(coef) {
+		return fmt.Errorf("lp: %d indices but %d coefficients", len(idx), len(coef))
+	}
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: invalid op %v", op)
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: invalid rhs %v", rhs)
+	}
+	for k, j := range idx {
+		if j < 0 || j >= p.nVars {
+			return fmt.Errorf("lp: variable %d out of range [0,%d)", j, p.nVars)
+		}
+		if math.IsNaN(coef[k]) || math.IsInf(coef[k], 0) {
+			return fmt.Errorf("lp: invalid coefficient %v for variable %d", coef[k], j)
+		}
+	}
+	row := conRow{
+		idx:  append([]int(nil), idx...),
+		coef: append([]float64(nil), coef...),
+		op:   op,
+		rhs:  rhs,
+	}
+	p.rows = append(p.rows, row)
+	return nil
+}
+
+// Solution is the result of a successful Solve.
+type Solution struct {
+	// X holds the optimal values of the structural variables.
+	X []float64
+	// Objective is the optimal objective value.
+	Objective float64
+	// Duals holds the dual value (shadow price) of each constraint row,
+	// in the order the rows were added. For a minimization, relaxing the
+	// rhs of row i by one unit changes the optimum by approximately
+	// -Duals[i] for ≤ rows (and +Duals[i] for ≥ rows under the sign
+	// convention y = c_B B⁻¹ on the sign-normalized rows; see the duality
+	// tests for the exact contract).
+	Duals []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Options tunes the solver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIterations bounds total pivots; 0 means an automatic limit
+	// proportional to problem size.
+	MaxIterations int
+	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
+	Tol float64
+}
+
+// Solve minimizes the objective with default options.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(Options{}) }

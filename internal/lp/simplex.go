@@ -1,0 +1,496 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// simplex state for one Solve call. Columns are stored sparsely; the basis
+// inverse is dense (m×m), maintained by pivoting and periodically
+// refactorized from scratch to shed accumulated floating-point error.
+type simplex struct {
+	m    int // rows
+	n    int // total columns: structural + slack/surplus + artificial
+	nStr int // structural columns
+	nAux int // slack/surplus columns
+
+	cols []sparseCol
+	b    []float64 // rhs, non-negative after row normalization
+
+	costPh2 []float64 // phase-2 costs (structural only; aux/artificial = 0)
+
+	basis    []int  // basis[i] = column basic in row i
+	isBasic  []bool // by column
+	binv     [][]float64
+	xB       []float64 // current basic values
+	tol      float64
+	maxIters int
+
+	iters      int
+	degenerate int // consecutive degenerate pivots, triggers Bland's rule
+}
+
+type sparseCol struct {
+	idx []int
+	val []float64
+}
+
+const (
+	refactorEvery  = 200
+	blandThreshold = 64
+)
+
+// SolveWith minimizes the objective with the given options.
+func (p *Problem) SolveWith(opts Options) (*Solution, error) {
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	m := len(p.rows)
+	if m == 0 {
+		// Unconstrained non-negative minimization: each variable sits at 0
+		// unless its cost is negative, in which case the LP is unbounded.
+		for j, c := range p.obj {
+			if c < -tol {
+				return nil, fmt.Errorf("variable %d has negative cost and no constraints: %w", j, ErrUnbounded)
+			}
+		}
+		return &Solution{X: make([]float64, p.nVars)}, nil
+	}
+
+	s := &simplex{m: m, nStr: p.nVars, tol: tol}
+
+	// Build structural columns from the row-wise input.
+	s.cols = make([]sparseCol, p.nVars, p.nVars+2*m)
+	s.b = make([]float64, m)
+	rowSign := make([]float64, m)
+	for i, r := range p.rows {
+		rowSign[i] = 1
+		if r.rhs < 0 {
+			rowSign[i] = -1
+		}
+		s.b[i] = r.rhs * rowSign[i]
+	}
+	// Accumulate (possibly duplicated) entries per column.
+	colMaps := make([]map[int]float64, p.nVars)
+	for i, r := range p.rows {
+		for k, j := range r.idx {
+			if colMaps[j] == nil {
+				colMaps[j] = make(map[int]float64, 4)
+			}
+			colMaps[j][i] += r.coef[k] * rowSign[i]
+		}
+	}
+	for j := 0; j < p.nVars; j++ {
+		col := sparseCol{}
+		for i := 0; i < m; i++ {
+			if v, ok := colMaps[j][i]; ok && v != 0 {
+				col.idx = append(col.idx, i)
+				col.val = append(col.val, v)
+			}
+		}
+		s.cols[j] = col
+	}
+
+	// Slack/surplus columns, then artificials where needed. A row's op
+	// flips when its sign was normalized.
+	s.basis = make([]int, m)
+	needArtificial := make([]bool, m)
+	for i, r := range p.rows {
+		op := r.op
+		if rowSign[i] < 0 {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			s.cols = append(s.cols, sparseCol{idx: []int{i}, val: []float64{1}})
+			s.basis[i] = len(s.cols) - 1
+		case GE:
+			s.cols = append(s.cols, sparseCol{idx: []int{i}, val: []float64{-1}})
+			needArtificial[i] = true
+		case EQ:
+			needArtificial[i] = true
+		}
+	}
+	s.nAux = len(s.cols) - s.nStr
+	firstArtificial := len(s.cols)
+	for i := 0; i < m; i++ {
+		if needArtificial[i] {
+			s.cols = append(s.cols, sparseCol{idx: []int{i}, val: []float64{1}})
+			s.basis[i] = len(s.cols) - 1
+		}
+	}
+	s.n = len(s.cols)
+
+	s.maxIters = opts.MaxIterations
+	if s.maxIters == 0 {
+		s.maxIters = 200 * (m + s.n)
+		if s.maxIters < 20000 {
+			s.maxIters = 20000
+		}
+	}
+
+	s.isBasic = make([]bool, s.n)
+	for _, j := range s.basis {
+		s.isBasic[j] = true
+	}
+	s.binv = identity(m)
+	s.xB = append([]float64(nil), s.b...)
+
+	s.costPh2 = make([]float64, s.n)
+	copy(s.costPh2, p.obj)
+
+	// Phase 1: minimize the sum of artificials.
+	if firstArtificial < s.n {
+		costPh1 := make([]float64, s.n)
+		for j := firstArtificial; j < s.n; j++ {
+			costPh1[j] = 1
+		}
+		if err := s.run(costPh1, firstArtificial, true); err != nil {
+			if err == errUnboundedInternal {
+				// Phase 1 is bounded below by 0; this indicates numeric
+				// trouble, surface as iteration trouble.
+				return nil, ErrIterationLimit
+			}
+			return nil, err
+		}
+		if obj := s.objective(costPh1); obj > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		s.pivotOutArtificials(firstArtificial)
+	}
+
+	// Phase 2.
+	if err := s.run(s.costPh2, firstArtificial, false); err != nil {
+		if err == errUnboundedInternal {
+			return nil, ErrUnbounded
+		}
+		return nil, err
+	}
+
+	x := make([]float64, s.nStr)
+	for i, j := range s.basis {
+		if j < s.nStr {
+			x[j] = s.xB[i]
+			if x[j] < 0 && x[j] > -1e-7 {
+				x[j] = 0
+			}
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.nStr; j++ {
+		obj += p.obj[j] * x[j]
+	}
+
+	// Dual values: y = c_B B⁻¹ on the sign-normalized system, mapped back
+	// to the original row orientation.
+	duals := make([]float64, m)
+	for i := 0; i < s.m; i++ {
+		cb := s.costPh2[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			duals[k] += cb * row[k]
+		}
+	}
+	for i := range duals {
+		duals[i] *= rowSign[i]
+	}
+
+	return &Solution{X: x, Objective: obj, Duals: duals, Iterations: s.iters}, nil
+}
+
+var errUnboundedInternal = fmt.Errorf("lp: internal unbounded marker")
+
+// run performs simplex iterations with the given cost vector until
+// optimality. Columns ≥ banFrom are never chosen to enter (used to keep
+// artificials out in phase 2).
+func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
+	if phase1 {
+		banFrom = s.n // artificials may move during phase 1
+	}
+	sinceRefactor := 0
+	for {
+		if s.iters >= s.maxIters {
+			return ErrIterationLimit
+		}
+		if sinceRefactor >= refactorEvery {
+			if err := s.refactorize(); err != nil {
+				return err
+			}
+			sinceRefactor = 0
+		}
+
+		// y = c_B^T · B^{-1}
+		y := make([]float64, s.m)
+		for i := 0; i < s.m; i++ {
+			cb := cost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+
+		useBland := s.degenerate >= blandThreshold
+		enter := -1
+		best := -s.tol
+		for j := 0; j < banFrom && j < s.n; j++ {
+			if s.isBasic[j] {
+				continue
+			}
+			d := cost[j] - dotSparse(y, s.cols[j])
+			if d < -s.tol {
+				if useBland {
+					enter = j
+					break
+				}
+				if d < best {
+					best = d
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal for this cost vector
+		}
+
+		// Direction d = B^{-1} A_enter.
+		dir := make([]float64, s.m)
+		col := s.cols[enter]
+		for i := 0; i < s.m; i++ {
+			row := s.binv[i]
+			sum := 0.0
+			for k, r := range col.idx {
+				sum += row[r] * col.val[k]
+			}
+			dir[i] = sum
+		}
+
+		// Ratio test. Basic artificials must never rise above zero: if the
+		// pivot would increase one (dir < 0 for a zero-valued artificial),
+		// it blocks at θ = 0 and leaves the basis instead.
+		leave := -1
+		theta := math.Inf(1)
+		for i := 0; i < s.m; i++ {
+			bj := s.basis[i]
+			if dir[i] > s.tol {
+				r := s.xB[i] / dir[i]
+				if r < theta-s.tol || (r < theta+s.tol && (leave == -1 || bj < s.basis[leave])) {
+					theta = r
+					leave = i
+				}
+			} else if !phase1 && bj >= banFrom && dir[i] < -s.tol && s.xB[i] <= s.tol {
+				// Zero-valued artificial would grow; force it out now.
+				theta = 0
+				leave = i
+				break
+			}
+		}
+		if leave < 0 {
+			return errUnboundedInternal
+		}
+		if theta < 0 {
+			theta = 0
+		}
+
+		if theta <= s.tol {
+			s.degenerate++
+		} else {
+			s.degenerate = 0
+		}
+
+		// Update basic values and basis inverse.
+		piv := dir[leave]
+		for i := 0; i < s.m; i++ {
+			if i != leave {
+				s.xB[i] -= theta * dir[i]
+				if s.xB[i] < 0 && s.xB[i] > -1e-9 {
+					s.xB[i] = 0
+				}
+			}
+		}
+		s.xB[leave] = theta
+
+		rowL := s.binv[leave]
+		inv := 1 / piv
+		for k := 0; k < s.m; k++ {
+			rowL[k] *= inv
+		}
+		for i := 0; i < s.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := dir[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				row[k] -= f * rowL[k]
+			}
+		}
+
+		s.isBasic[s.basis[leave]] = false
+		s.isBasic[enter] = true
+		s.basis[leave] = enter
+		s.iters++
+		sinceRefactor++
+	}
+}
+
+// pivotOutArtificials removes zero-valued artificial variables from the
+// basis where possible by degenerate pivots on non-artificial columns.
+// Rows whose artificial cannot be pivoted out are linearly dependent; the
+// artificial stays basic at zero and the phase-2 ratio-test guard keeps it
+// there.
+func (s *simplex) pivotOutArtificials(firstArtificial int) {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < firstArtificial {
+			continue
+		}
+		row := s.binv[i]
+		for j := 0; j < firstArtificial; j++ {
+			if s.isBasic[j] {
+				continue
+			}
+			col := s.cols[j]
+			piv := 0.0
+			for k, r := range col.idx {
+				piv += row[r] * col.val[k]
+			}
+			if math.Abs(piv) <= 1e-7 {
+				continue
+			}
+			// Degenerate pivot: xB[i] is ~0, so values do not change.
+			dir := make([]float64, s.m)
+			for r2 := 0; r2 < s.m; r2++ {
+				rw := s.binv[r2]
+				sum := 0.0
+				for k, r := range col.idx {
+					sum += rw[r] * col.val[k]
+				}
+				dir[r2] = sum
+			}
+			inv := 1 / dir[i]
+			for k := 0; k < s.m; k++ {
+				row[k] *= inv
+			}
+			for r2 := 0; r2 < s.m; r2++ {
+				if r2 == i {
+					continue
+				}
+				f := dir[r2]
+				if f == 0 {
+					continue
+				}
+				rw := s.binv[r2]
+				for k := 0; k < s.m; k++ {
+					rw[k] -= f * row[k]
+				}
+			}
+			s.isBasic[s.basis[i]] = false
+			s.isBasic[j] = true
+			s.basis[i] = j
+			s.xB[i] = 0
+			break
+		}
+	}
+}
+
+// refactorize rebuilds binv from the basis columns by Gauss–Jordan
+// elimination with partial pivoting and recomputes xB, discarding drift.
+func (s *simplex) refactorize() error {
+	m := s.m
+	// Assemble dense B augmented with I.
+	aug := make([][]float64, m)
+	for i := range aug {
+		aug[i] = make([]float64, 2*m)
+		aug[i][m+i] = 1
+	}
+	for colPos, j := range s.basis {
+		col := s.cols[j]
+		for k, r := range col.idx {
+			aug[r][colPos] = col.val[k]
+		}
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p := c
+		for r := c + 1; r < m; r++ {
+			if math.Abs(aug[r][c]) > math.Abs(aug[p][c]) {
+				p = r
+			}
+		}
+		if math.Abs(aug[p][c]) < 1e-12 {
+			return fmt.Errorf("lp: singular basis during refactorization: %w", ErrIterationLimit)
+		}
+		aug[c], aug[p] = aug[p], aug[c]
+		inv := 1 / aug[c][c]
+		for k := c; k < 2*m; k++ {
+			aug[c][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := aug[r][c]
+			if f == 0 {
+				continue
+			}
+			for k := c; k < 2*m; k++ {
+				aug[r][k] -= f * aug[c][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], aug[i][m:])
+	}
+	// xB = B^{-1} b
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := s.binv[i]
+		for k := 0; k < m; k++ {
+			sum += row[k] * s.b[k]
+		}
+		if sum < 0 && sum > -1e-9 {
+			sum = 0
+		}
+		s.xB[i] = sum
+	}
+	return nil
+}
+
+func (s *simplex) objective(cost []float64) float64 {
+	sum := 0.0
+	for i, j := range s.basis {
+		sum += cost[j] * s.xB[i]
+	}
+	return sum
+}
+
+func dotSparse(dense []float64, col sparseCol) float64 {
+	sum := 0.0
+	for k, r := range col.idx {
+		sum += dense[r] * col.val[k]
+	}
+	return sum
+}
+
+func identity(m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		out[i][i] = 1
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package placement
+
+import (
+	"testing"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+func BenchmarkGridOneToOnePlanetLab(b *testing.B) {
+	topo := topology.PlanetLab50(1)
+	sys, err := quorum.NewGrid(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GridOneToOne(topo, sys, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMajorityOneToOneDaxlist(b *testing.B) {
+	topo := topology.Daxlist161(1)
+	sys, err := quorum.NewThreshold(25, 49)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MajorityOneToOne(topo, sys, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkManyToOnePlanetLab(b *testing.B) {
+	topo := topology.PlanetLab50(1)
+	sys, err := quorum.NewGrid(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A handful of anchors keeps a single iteration meaningful while the
+	// full search is exercised by BenchmarkFig89 at the repository root.
+	cfg := ManyToOneConfig{Candidates: []int{0, 10, 20, 30, 40}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ManyToOne(topo, sys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalResponseTime(b *testing.B) {
+	topo := topology.Daxlist161(1)
+	sys, err := quorum.NewGrid(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := GridOneToOne(topo, sys, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEval(topo, sys, f, core.AlphaForDemand(16000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := e.AvgResponseTime(core.BalancedStrategy{}); v <= 0 {
+			b.Fatal("non-positive response")
+		}
+	}
+}

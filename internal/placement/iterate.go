@@ -1,0 +1,187 @@
+package placement
+
+import (
+	"fmt"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/strategy"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// IterateConfig parameterizes the iterative algorithm of §4.2.
+type IterateConfig struct {
+	// Alpha is the load-to-delay factor used for the halting criterion
+	// (expected response time).
+	Alpha float64
+	// Eps is the Lin–Vitter parameter for the embedded many-to-one
+	// placements (default 1).
+	Eps float64
+	// MaxIterations bounds the loop (default 8); the paper observes most
+	// runs terminate after the first iteration.
+	MaxIterations int
+	// Candidates / Clients as in Options.
+	Candidates []int
+	Clients    []int
+}
+
+// PhaseRecord captures the measures after each phase of one iteration,
+// feeding Figure 8.9.
+type PhaseRecord struct {
+	Iteration int
+	// Phase1NetDelay is the average network delay of the new placement
+	// under the previous (shared) strategy.
+	Phase1NetDelay float64
+	// Phase2NetDelay is the average network delay after re-optimizing the
+	// access strategies.
+	Phase2NetDelay float64
+	// Response is the expected response time (4.2) closing the iteration.
+	Response float64
+}
+
+// IterResult is the outcome of the iterative algorithm.
+type IterResult struct {
+	Placement core.Placement
+	Strategy  *core.ExplicitStrategy
+	Response  float64
+	History   []PhaseRecord
+}
+
+// Iterate alternates the many-to-one placement (phase 1, with the average
+// of the previous per-client strategies as the shared strategy) and the
+// access-strategy LP (phase 2, with capacities set to the loads the new
+// placement induces), halting when expected response time stops
+// decreasing, exactly as described in §4.2. The system must be
+// enumerable.
+func Iterate(topo *topology.Topology, sys quorum.System, cfg IterateConfig) (*IterResult, error) {
+	if !sys.Enumerable() {
+		return nil, fmt.Errorf("placement: iterative algorithm needs an enumerable system, got %s", sys.Name())
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 8
+	}
+	m := sys.NumQuorums()
+
+	// p0: the uniform distribution for every client.
+	shared := make([]float64, m)
+	for i := range shared {
+		shared[i] = 1 / float64(m)
+	}
+
+	var result *IterResult
+	for j := 1; j <= maxIter; j++ {
+		// Phase 1: many-to-one placement under the shared strategy.
+		elemLoads := elementLoadsOf(sys, shared)
+		scoreBy := sharedStrategy(topo, cfg.Clients, shared)
+		f, err := ManyToOne(topo, sys, ManyToOneConfig{
+			ElementLoads: elemLoads,
+			ScoreBy:      scoreBy,
+			Eps:          cfg.Eps,
+			Candidates:   cfg.Candidates,
+			Clients:      cfg.Clients,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("placement: iteration %d phase 1: %w", j, err)
+		}
+		e, err := newEval(topo, sys, f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		phase1Delay := e.AvgNetworkDelay(scoreBy)
+
+		// Phase 2: re-optimize strategies with capacities pinned to the
+		// loads the placement currently induces (a hair of slack absorbs
+		// LP tolerance at the boundary).
+		caps := e.NodeLoads(scoreBy)
+		for w := range caps {
+			caps[w] += 1e-9
+		}
+		res, err := strategy.Optimize(e, caps)
+		if err != nil {
+			return nil, fmt.Errorf("placement: iteration %d phase 2: %w", j, err)
+		}
+		resp := e.AvgResponseTime(res.Strategy)
+		rec := PhaseRecord{
+			Iteration:      j,
+			Phase1NetDelay: phase1Delay,
+			Phase2NetDelay: res.AvgNetDelay,
+			Response:       resp,
+		}
+
+		if result != nil && resp >= result.Response {
+			// No improvement: halt and return the previous iteration's
+			// output, per the paper.
+			result.History = append(result.History, rec)
+			return result, nil
+		}
+		hist := []PhaseRecord{rec}
+		if result != nil {
+			hist = append(result.History, rec)
+		}
+		result = &IterResult{Placement: f, Strategy: res.Strategy, Response: resp, History: hist}
+
+		// Next shared strategy: the average of the per-client strategies.
+		shared = averageRows(res.Strategy.Probs)
+	}
+	return result, nil
+}
+
+func newEval(topo *topology.Topology, sys quorum.System, f core.Placement, cfg IterateConfig) (*core.Eval, error) {
+	e, err := core.NewEval(topo, sys, f, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clients != nil {
+		if err := e.SetClients(cfg.Clients); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// elementLoadsOf computes load_p(u) = Σ_{Q_i ∋ u} p(i) for a shared
+// strategy.
+func elementLoadsOf(sys quorum.System, shared []float64) []float64 {
+	loads := make([]float64, sys.UniverseSize())
+	for i, p := range shared {
+		if p <= 0 {
+			continue
+		}
+		for _, u := range sys.Quorum(i) {
+			loads[u] += p
+		}
+	}
+	return loads
+}
+
+// sharedStrategy wraps a single distribution as an ExplicitStrategy whose
+// rows (one per client) are identical.
+func sharedStrategy(topo *topology.Topology, clients []int, shared []float64) *core.ExplicitStrategy {
+	n := topo.Size()
+	if clients != nil {
+		n = len(clients)
+	}
+	rows := make([][]float64, n)
+	for k := range rows {
+		rows[k] = append([]float64(nil), shared...)
+	}
+	return &core.ExplicitStrategy{Probs: rows, Label: "shared"}
+}
+
+func averageRows(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		for i, p := range r {
+			out[i] += p
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

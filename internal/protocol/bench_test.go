@@ -1,0 +1,27 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+func BenchmarkRunSimQU(b *testing.B) {
+	topo := topology.PlanetLab50(1)
+	cfg := Config{
+		Topo:          topo,
+		ServerSites:   []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		QuorumSize:    9,
+		ClientSites:   []int{12, 14, 16, 18, 20, 22, 24, 26, 28, 30},
+		ServiceTimeMS: 1,
+		LinkTxMS:      0.8,
+		DurationMS:    5000,
+		Seed:          1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

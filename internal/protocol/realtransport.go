@@ -1,0 +1,59 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RealTransport runs the protocol over real goroutines and wall-clock
+// timers, scaled so that one simulated millisecond takes Scale real
+// milliseconds. It exists to demonstrate the protocol engine is not tied
+// to the discrete-event simulator; tests use small scales and assert
+// protocol correctness rather than exact timing.
+type RealTransport struct {
+	scale float64
+	start time.Time
+
+	mu sync.Mutex // serializes actions, as Transport requires
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*RealTransport)(nil)
+
+// NewRealTransport returns a transport where each simulated millisecond
+// lasts scale real milliseconds (e.g. 0.05 compresses time 20×).
+func NewRealTransport(scale float64) (*RealTransport, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("protocol: non-positive time scale %v", scale)
+	}
+	return &RealTransport{scale: scale, start: time.Now()}, nil
+}
+
+// Deliver implements Transport. Every action is tracked; Wait blocks
+// until all deliveries (including ones scheduled by running actions)
+// complete, so no goroutine outlives the run.
+func (t *RealTransport) Deliver(delayMS float64, action func()) error {
+	if delayMS < 0 {
+		return fmt.Errorf("protocol: negative delay %v", delayMS)
+	}
+	t.wg.Add(1)
+	real := time.Duration(delayMS * t.scale * float64(time.Millisecond))
+	time.AfterFunc(real, func() {
+		defer t.wg.Done()
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		action()
+	})
+	return nil
+}
+
+// Now implements Transport, reporting elapsed simulated milliseconds.
+func (t *RealTransport) Now() float64 {
+	return float64(time.Since(t.start)) / (t.scale * float64(time.Millisecond))
+}
+
+// Wait blocks until every outstanding delivery has run. Actions that
+// schedule further deliveries extend the wait (the closed-loop clients
+// stop issuing once Now() passes the configured duration).
+func (t *RealTransport) Wait() { t.wg.Wait() }

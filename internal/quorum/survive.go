@@ -1,0 +1,155 @@
+package quorum
+
+import (
+	"fmt"
+)
+
+// Survivor is a quorum system restricted to the elements that outlive a
+// failure, re-indexed over the compacted survivor universe. AliveIndex
+// maps survivor-universe elements back to the original universe, so
+// placements and cost vectors can be projected.
+type Survivor struct {
+	// Sub is the surviving quorum system over universe
+	// {0..len(AliveIndex)-1}.
+	Sub System
+	// AliveIndex[i] is the original element id of survivor element i.
+	AliveIndex []int
+}
+
+// ErrNoQuorumSurvives reports that the failure kills every quorum — the
+// service is unavailable.
+var ErrNoQuorumSurvives = fmt.Errorf("quorum: no quorum survives the failure")
+
+// Survive restricts a system to the quorums untouched by the dead
+// elements. Threshold systems survive as (smaller) threshold systems, so
+// their closed forms remain available even when non-enumerable;
+// enumerable systems survive as Explicit systems. It returns
+// ErrNoQuorumSurvives when every quorum hits a dead element.
+func Survive(s System, dead []int) (*Survivor, error) {
+	isDead := make([]bool, s.UniverseSize())
+	for _, u := range dead {
+		if u < 0 || u >= s.UniverseSize() {
+			return nil, fmt.Errorf("quorum: dead element %d out of range [0,%d)", u, s.UniverseSize())
+		}
+		isDead[u] = true
+	}
+	var alive []int
+	for u := 0; u < s.UniverseSize(); u++ {
+		if !isDead[u] {
+			alive = append(alive, u)
+		}
+	}
+
+	if t, ok := s.(Threshold); ok {
+		if len(alive) < t.QuorumSize() {
+			return nil, fmt.Errorf("%d of %d elements alive, need %d: %w",
+				len(alive), t.UniverseSize(), t.QuorumSize(), ErrNoQuorumSurvives)
+		}
+		// Quorums of the original threshold system that avoid the dead
+		// elements are exactly the q-subsets of the survivors; the
+		// intersection property is inherited (2q > n ≥ |alive|).
+		sub, err := NewThreshold(t.QuorumSize(), len(alive))
+		if err != nil {
+			return nil, err
+		}
+		return &Survivor{Sub: sub, AliveIndex: alive}, nil
+	}
+
+	if !s.Enumerable() {
+		return nil, fmt.Errorf("quorum: cannot restrict non-enumerable system %s", s.Name())
+	}
+	// Re-index the surviving quorums onto the survivor universe.
+	newID := make([]int, s.UniverseSize())
+	for i := range newID {
+		newID[i] = -1
+	}
+	for i, u := range alive {
+		newID[u] = i
+	}
+	var surviving [][]int
+	for i := 0; i < s.NumQuorums(); i++ {
+		q := s.Quorum(i)
+		ok := true
+		for _, u := range q {
+			if isDead[u] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		mapped := make([]int, len(q))
+		for j, u := range q {
+			mapped[j] = newID[u]
+		}
+		surviving = append(surviving, mapped)
+	}
+	if len(surviving) == 0 {
+		return nil, fmt.Errorf("%s with %d dead elements: %w", s.Name(), len(dead), ErrNoQuorumSurvives)
+	}
+	sub, err := NewExplicit(fmt.Sprintf("%s\\%d", s.Name(), len(dead)), len(alive), surviving)
+	if err != nil {
+		return nil, err
+	}
+	return &Survivor{Sub: sub, AliveIndex: alive}, nil
+}
+
+// FailureResilience returns the largest f such that the system survives
+// every failure of f elements (the system's fault tolerance). For a
+// threshold system this is n − q; for enumerable systems it is computed
+// by checking minimal transversals up to the quorum size.
+func FailureResilience(s System) int {
+	if t, ok := s.(Threshold); ok {
+		return t.UniverseSize() - t.QuorumSize()
+	}
+	if !s.Enumerable() {
+		return -1 // unknown
+	}
+	// f is one less than the size of the smallest hitting set of the
+	// quorum family. Quorum systems here are small (m, q ≤ a few hundred),
+	// so a branch-and-bound search is fine.
+	m := s.NumQuorums()
+	quorums := make([][]int, m)
+	for i := range quorums {
+		quorums[i] = s.Quorum(i)
+	}
+	best := s.UniverseSize() + 1
+	var search func(chosen map[int]bool, next int)
+	search = func(chosen map[int]bool, idx int) {
+		if len(chosen) >= best {
+			return
+		}
+		// Find the first quorum not hit.
+		hitAll := true
+		var unhit []int
+		for i := idx; i < m; i++ {
+			hit := false
+			for _, u := range quorums[i] {
+				if chosen[u] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				hitAll = false
+				unhit = quorums[i]
+				idx = i
+				break
+			}
+		}
+		if hitAll {
+			if len(chosen) < best {
+				best = len(chosen)
+			}
+			return
+		}
+		for _, u := range unhit {
+			chosen[u] = true
+			search(chosen, idx)
+			delete(chosen, u)
+		}
+	}
+	search(map[int]bool{}, 0)
+	return best - 1
+}

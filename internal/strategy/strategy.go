@@ -1,0 +1,340 @@
+// Package strategy implements §4.2's access-strategy optimization: the
+// linear program (4.3)–(4.6) that, for a fixed placement, chooses each
+// client's distribution over quorums to minimize average network delay
+// subject to per-node capacity (load) constraints — plus the capacity
+// sweep (7.7) and the non-uniform capacity heuristic of §7 built on it.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// Result is an optimized set of client access strategies.
+type Result struct {
+	// Strategy holds the per-client quorum distributions.
+	Strategy *core.ExplicitStrategy
+	// AvgNetDelay is the LP objective: avg_v Σ_i p_vi · δ_f(v, Q_i).
+	AvgNetDelay float64
+	// Iterations is the simplex pivot count (diagnostics).
+	Iterations int
+}
+
+// Optimize solves LP (4.3)–(4.6) for the evaluation's placement: find
+// {p_v} minimizing average network delay such that the average load on
+// each node w stays within caps[w]. caps must have length Topo.Size();
+// nodes outside the placement's support never receive load, so their
+// capacities are ignored. Returns lp.ErrInfeasible (wrapped) when the
+// capacities cannot absorb one unit of demand per client.
+//
+// The load coefficients follow the evaluation's LoadMode: multiplicity
+// (the paper's definition) charges a node once per hosted element in the
+// accessed quorum; dedup charges it once per access.
+func Optimize(e *core.Eval, caps []float64) (*Result, error) {
+	if !e.Sys.Enumerable() {
+		return nil, fmt.Errorf("strategy: %s is not enumerable; the LP needs explicit quorums", e.Sys.Name())
+	}
+	if len(caps) != e.Topo.Size() {
+		return nil, fmt.Errorf("strategy: %d capacities for %d nodes", len(caps), e.Topo.Size())
+	}
+	m := e.Sys.NumQuorums()
+	clients := e.Clients
+	nc := len(clients)
+	nVars := nc * m
+
+	// Precompute, per quorum: its support nodes and per-node load
+	// contribution (multiplicity or 0/1 dedup).
+	type nodeLoad struct {
+		node int
+		load float64
+	}
+	quorumLoads := make([][]nodeLoad, m)
+	quorumElems := make([][]int, m)
+	for i := 0; i < m; i++ {
+		elems := e.Sys.Quorum(i)
+		quorumElems[i] = elems
+		counts := map[int]float64{}
+		for _, u := range elems {
+			w := e.F.Node(u)
+			if e.Mode == core.LoadDedup {
+				counts[w] = 1
+			} else {
+				counts[w]++
+			}
+		}
+		for w, l := range counts {
+			quorumLoads[i] = append(quorumLoads[i], nodeLoad{node: w, load: l})
+		}
+	}
+
+	// δ_f(v, Q_i) per client and quorum.
+	delta := make([][]float64, nc)
+	for k, v := range clients {
+		row := e.Topo.RTTRow(v)
+		delta[k] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			maxD := 0.0
+			for _, u := range quorumElems[i] {
+				if d := row[e.F.Node(u)]; d > maxD {
+					maxD = d
+				}
+			}
+			delta[k][i] = maxD
+		}
+	}
+
+	prob := lp.NewProblem(nVars)
+	varOf := func(k, i int) int { return k*m + i }
+	// Client weights scale both the objective contribution and the load a
+	// client's accesses impose; with uniform weights this reduces to the
+	// paper's 1/|V| averages (scaled through by |V|, which changes
+	// neither the optimum nor the constraint set).
+	weight := make([]float64, nc)
+	for k, v := range clients {
+		weight[k] = e.ClientWeight(v) * float64(nc)
+	}
+	for k := 0; k < nc; k++ {
+		for i := 0; i < m; i++ {
+			if err := prob.SetObjectiveCoeff(varOf(k, i), weight[k]*delta[k][i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Convexity: Σ_i p_vi = 1 per client.
+	ones := make([]float64, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	idxBuf := make([]int, m)
+	for k := 0; k < nc; k++ {
+		for i := 0; i < m; i++ {
+			idxBuf[i] = varOf(k, i)
+		}
+		if err := prob.AddConstraint(idxBuf, ones, lp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Capacity: Σ_v weight_v Σ_i p_vi·mult(i, w) ≤ |clients|·cap(w) for
+	// support nodes (both sides scaled by |clients| relative to (4.4)).
+	support := e.F.Support()
+	for _, w := range support {
+		var idx []int
+		var coef []float64
+		for i := 0; i < m; i++ {
+			var l float64
+			for _, nl := range quorumLoads[i] {
+				if nl.node == w {
+					l = nl.load
+					break
+				}
+			}
+			if l == 0 {
+				continue
+			}
+			for k := 0; k < nc; k++ {
+				idx = append(idx, varOf(k, i))
+				coef = append(coef, weight[k]*l)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		if err := prob.AddConstraint(idx, coef, lp.LE, float64(nc)*caps[w]); err != nil {
+			return nil, err
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("strategy: access LP (%d vars, %d rows): %w", nVars, prob.NumConstraints(), err)
+	}
+
+	probs := make([][]float64, nc)
+	for k := 0; k < nc; k++ {
+		probs[k] = make([]float64, m)
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			p := sol.X[varOf(k, i)]
+			if p < 0 {
+				p = 0
+			}
+			probs[k][i] = p
+			sum += p
+		}
+		// Renormalize away solver tolerance drift.
+		if sum > 0 {
+			for i := range probs[k] {
+				probs[k][i] /= sum
+			}
+		}
+	}
+	st := &core.ExplicitStrategy{Probs: probs, Label: "lp-optimized"}
+	if err := st.Validate(e); err != nil {
+		return nil, fmt.Errorf("strategy: LP produced invalid strategy: %w", err)
+	}
+	// The objective was scaled by |clients|·weights; dividing by nc
+	// recovers the weighted-average network delay.
+	return &Result{
+		Strategy:    st,
+		AvgNetDelay: sol.Objective / float64(nc),
+		Iterations:  sol.Iterations,
+	}, nil
+}
+
+// SweepValues returns the paper's capacity grid (7.7):
+// c_i = Lopt + i·(1−Lopt)/count for i = 1..count.
+func SweepValues(lopt float64, count int) []float64 {
+	if count <= 0 {
+		panic(fmt.Sprintf("strategy: non-positive sweep count %d", count))
+	}
+	lambda := (1 - lopt) / float64(count)
+	out := make([]float64, count)
+	for i := 1; i <= count; i++ {
+		out[i-1] = lopt + float64(i)*lambda
+	}
+	return out
+}
+
+// SweepPoint is one capacity setting's outcome.
+type SweepPoint struct {
+	// Cap is the uniform capacity value c_i (or the upper end γ of the
+	// non-uniform interval).
+	Cap float64
+	// NetDelay is the optimized average network delay.
+	NetDelay float64
+	// Response is the average response time of the optimized strategy
+	// under the evaluation's alpha.
+	Response float64
+	// Result carries the strategy.
+	Result *Result
+	// Infeasible marks capacity values the LP could not satisfy.
+	Infeasible bool
+}
+
+// UniformSweep runs Optimize for each uniform capacity value and
+// evaluates response time, reproducing the technique of Figure 7.6.
+func UniformSweep(e *core.Eval, values []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(values))
+	for _, c := range values {
+		caps := make([]float64, e.Topo.Size())
+		for w := range caps {
+			caps[w] = c
+		}
+		pt, err := sweepPoint(e, c, caps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// NonUniformCaps implements the §7 heuristic: capacities inversely
+// proportional to each support node's average distance s_i from the
+// clients, scaled into [beta, gamma]:
+//
+//	cap(v_i) = (1/s_i − le)/(re − le) · (γ − β) + β
+//
+// Nodes outside the support get capacity gamma (they carry no load).
+func NonUniformCaps(e *core.Eval, beta, gamma float64) ([]float64, error) {
+	if beta <= 0 || gamma < beta || gamma > 1 {
+		return nil, fmt.Errorf("strategy: invalid capacity interval [%v, %v]", beta, gamma)
+	}
+	support := e.F.Support()
+	inv := make([]float64, len(support))
+	le, re := math.Inf(1), math.Inf(-1)
+	for i, w := range support {
+		s := 0.0
+		for _, v := range e.Clients {
+			s += e.Topo.RTT(v, w)
+		}
+		s /= float64(len(e.Clients))
+		if s <= 0 {
+			return nil, fmt.Errorf("strategy: support node %d has zero average client distance", w)
+		}
+		inv[i] = 1 / s
+		le = math.Min(le, inv[i])
+		re = math.Max(re, inv[i])
+	}
+	caps := make([]float64, e.Topo.Size())
+	for w := range caps {
+		caps[w] = gamma
+	}
+	for i, w := range support {
+		if re == le {
+			caps[w] = beta
+			continue
+		}
+		caps[w] = (inv[i]-le)/(re-le)*(gamma-beta) + beta
+	}
+	return caps, nil
+}
+
+// NonUniformSweep mirrors UniformSweep but sets capacities with the
+// non-uniform heuristic over intervals [β, γ] = [lopt, c] for each c,
+// reproducing Figures 7.7/7.8.
+func NonUniformSweep(e *core.Eval, lopt float64, values []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(values))
+	for _, c := range values {
+		caps, err := NonUniformCaps(e, lopt, c)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := sweepPoint(e, c, caps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func sweepPoint(e *core.Eval, c float64, caps []float64) (SweepPoint, error) {
+	res, err := Optimize(e, caps)
+	if err != nil {
+		if isInfeasible(err) {
+			return SweepPoint{Cap: c, Infeasible: true}, nil
+		}
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Cap:      c,
+		NetDelay: res.AvgNetDelay,
+		Response: e.AvgResponseTime(res.Strategy),
+		Result:   res,
+	}, nil
+}
+
+// Best returns the feasible sweep point with the lowest response time, or
+// an error if none is feasible. This is the paper's "pick the value c_i
+// that minimizes the response time".
+func Best(points []SweepPoint) (SweepPoint, error) {
+	best := SweepPoint{Response: math.Inf(1), Infeasible: true}
+	for _, p := range points {
+		if !p.Infeasible && p.Response < best.Response {
+			best = p
+		}
+	}
+	if best.Infeasible {
+		return SweepPoint{}, fmt.Errorf("strategy: no feasible capacity in sweep: %w", lp.ErrInfeasible)
+	}
+	return best, nil
+}
+
+func isInfeasible(err error) bool { return errors.Is(err, lp.ErrInfeasible) }
+
+// AvgDistanceTo reports the average distance from the evaluation's
+// clients to node w (the s_i of the non-uniform heuristic); exported for
+// diagnostics and tests.
+func AvgDistanceTo(topo *topology.Topology, clients []int, w int) float64 {
+	s := 0.0
+	for _, v := range clients {
+		s += topo.RTT(v, w)
+	}
+	return s / float64(len(clients))
+}

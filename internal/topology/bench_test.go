@@ -1,0 +1,15 @@
+package topology
+
+import "testing"
+
+func BenchmarkPlanetLab50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PlanetLab50(int64(i))
+	}
+}
+
+func BenchmarkDaxlist161(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Daxlist161(int64(i))
+	}
+}

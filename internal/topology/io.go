@@ -1,0 +1,147 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/quorumnet/quorumnet/internal/graph"
+)
+
+// The text format is line-oriented so real measurement datasets (for
+// example PlanetLab ping matrices) can be converted with a few lines of
+// awk:
+//
+//	quorumnet-topology v1
+//	<name>
+//	<n>
+//	<site-name> <region> <lat> <lon> <capacity>      × n
+//	<n space-separated RTTs>                          × n
+//
+// Comment lines start with '#' and blank lines are ignored.
+
+const formatHeader = "quorumnet-topology v1"
+
+// Save writes the topology in the text format.
+func Save(w io.Writer, t *Topology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintln(bw, t.Name())
+	fmt.Fprintln(bw, t.Size())
+	for i := 0; i < t.Size(); i++ {
+		s := t.Site(i)
+		fmt.Fprintf(bw, "%s %s %.6f %.6f %.9g\n", s.Name, s.Region, s.Lat, s.Lon, t.Capacity(i))
+	}
+	for i := 0; i < t.Size(); i++ {
+		for j := 0; j < t.Size(); j++ {
+			if j > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%.6f", t.RTT(i, j))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Load reads a topology in the text format. The distance matrix is
+// metric-closed on load, so mildly inconsistent measured data (asymmetry,
+// triangle violations) is accepted and repaired.
+func Load(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading header: %w", err)
+	}
+	if header != formatHeader {
+		return nil, fmt.Errorf("topology: unsupported format %q", header)
+	}
+	name, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading name: %w", err)
+	}
+	countLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading site count: %w", err)
+	}
+	n, err := strconv.Atoi(countLine)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("topology: invalid site count %q", countLine)
+	}
+
+	sites := make([]Site, n)
+	caps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("topology: reading site %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("topology: site line %d has %d fields, want 5: %q", i, len(fields), line)
+		}
+		lat, err1 := strconv.ParseFloat(fields[2], 64)
+		lon, err2 := strconv.ParseFloat(fields[3], 64)
+		capacity, err3 := strconv.ParseFloat(fields[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("topology: site line %d has invalid numbers: %q", i, line)
+		}
+		sites[i] = Site{Name: fields[0], Region: fields[1], Lat: lat, Lon: lon}
+		caps[i] = capacity
+	}
+
+	m := graph.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("topology: reading matrix row %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n {
+			return nil, fmt.Errorf("topology: matrix row %d has %d entries, want %d", i, len(fields), n)
+		}
+		for j, f := range fields {
+			d, err := strconv.ParseFloat(f, 64)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("topology: matrix entry (%d,%d) invalid: %q", i, j, f)
+			}
+			// Row-major assignment; symmetry is restored by the closure.
+			if j >= i {
+				m.Set(i, j, d)
+			} else if m.At(i, j) == 0 {
+				m.Set(i, j, d)
+			} else if d < m.At(i, j) {
+				m.Set(i, j, d)
+			}
+		}
+	}
+	m.MetricClosure()
+
+	t, err := New(name, sites, m)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range caps {
+		if err := t.SetCapacity(i, c); err != nil {
+			return nil, fmt.Errorf("topology: site %d: %w", i, err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := PlanetLab50(42)
+	if err := orig.SetCapacity(3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	if got.Name() != orig.Name() {
+		t.Errorf("Name = %q, want %q", got.Name(), orig.Name())
+	}
+	if got.Size() != orig.Size() {
+		t.Fatalf("Size = %d, want %d", got.Size(), orig.Size())
+	}
+	for i := 0; i < orig.Size(); i++ {
+		if got.Site(i).Name != orig.Site(i).Name {
+			t.Errorf("site %d name = %q, want %q", i, got.Site(i).Name, orig.Site(i).Name)
+		}
+		if math.Abs(got.Capacity(i)-orig.Capacity(i)) > 1e-9 {
+			t.Errorf("site %d capacity = %v, want %v", i, got.Capacity(i), orig.Capacity(i))
+		}
+		for j := 0; j < orig.Size(); j++ {
+			if math.Abs(got.RTT(i, j)-orig.RTT(i, j)) > 1e-3 {
+				t.Errorf("RTT(%d,%d) = %v, want %v", i, j, got.RTT(i, j), orig.RTT(i, j))
+			}
+		}
+	}
+}
+
+func TestLoadRepairsAsymmetry(t *testing.T) {
+	// Hand-written file with asymmetric measurements.
+	input := `quorumnet-topology v1
+tiny
+# a comment
+3
+a r 0 0 1
+b r 0 1 1
+c r 0 2 1
+0 10 30
+12 0 10
+30 10 0
+`
+	tp, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := tp.RTT(0, 1); got != 10 {
+		t.Errorf("RTT(0,1) = %v, want 10 (min of 10 and 12)", got)
+	}
+	// Triangle repair: 0->2 direct is 30, via 1 is 20.
+	if got := tp.RTT(0, 2); got != 20 {
+		t.Errorf("RTT(0,2) = %v, want 20 after closure", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{name: "empty", input: ""},
+		{name: "bad header", input: "not-a-topology\nx\n1\na r 0 0 1\n0\n"},
+		{name: "bad count", input: "quorumnet-topology v1\nx\nzero\n"},
+		{name: "negative count", input: "quorumnet-topology v1\nx\n-3\n"},
+		{name: "short site line", input: "quorumnet-topology v1\nx\n1\na r 0\n0\n"},
+		{name: "bad site number", input: "quorumnet-topology v1\nx\n1\na r 0 zero 1\n0\n"},
+		{name: "short matrix row", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 5\n5\n"},
+		{name: "negative distance", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 -5\n-5 0\n"},
+		{name: "truncated matrix", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 5\n"},
+		{name: "zero capacity", input: "quorumnet-topology v1\nx\n2\na r 0 0 0\nb r 0 1 1\n0 5\n5 0\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.input)); err == nil {
+				t.Error("Load succeeded, want error")
+			}
+		})
+	}
+}

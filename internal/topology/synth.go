@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/quorumnet/quorumnet/internal/graph"
+)
+
+// RegionSpec describes a geographic cluster for the synthetic generators:
+// a bounding box in which sites are placed uniformly at random, the number
+// of sites, and the range of per-site access-link delay (one-way,
+// milliseconds) modeling the site's local connectivity.
+type RegionSpec struct {
+	Name      string
+	Count     int
+	LatMin    float64
+	LatMax    float64
+	LonMin    float64
+	LonMax    float64
+	AccessMin float64
+	AccessMax float64
+}
+
+// GenConfig parameterizes the synthetic WAN generator.
+type GenConfig struct {
+	Name    string
+	Regions []RegionSpec
+	// Inflation multiplies great-circle propagation delay to account for
+	// indirect routing; terrestrial Internet paths typically see 1.3–2.0.
+	Inflation float64
+	// JitterFrac is the half-width of the multiplicative jitter applied to
+	// each pairwise delay (for example 0.1 means ×U[0.9, 1.1]).
+	JitterFrac float64
+}
+
+const (
+	earthRadiusKM = 6371.0
+	// Light in fiber covers roughly 200 km per millisecond.
+	fiberKMPerMS = 200.0
+)
+
+// Generate builds a topology from the configuration using the given seed.
+// The same (config, seed) pair always yields the same topology. Pairwise
+// RTT = 2 × (great-circle/fiber speed × inflation) + access(u) + access(v),
+// jittered, then metric-closed so the triangle inequality holds.
+func Generate(cfg GenConfig, seed int64) (*Topology, error) {
+	total := 0
+	for _, r := range cfg.Regions {
+		if r.Count < 0 {
+			return nil, fmt.Errorf("topology: region %q has negative count", r.Name)
+		}
+		total += r.Count
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("topology %q: no sites configured", cfg.Name)
+	}
+	if cfg.Inflation <= 0 {
+		return nil, fmt.Errorf("topology %q: inflation must be positive, got %v", cfg.Name, cfg.Inflation)
+	}
+	if cfg.JitterFrac < 0 || cfg.JitterFrac >= 1 {
+		return nil, fmt.Errorf("topology %q: jitter fraction %v out of [0,1)", cfg.Name, cfg.JitterFrac)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]Site, 0, total)
+	access := make([]float64, 0, total)
+	for _, r := range cfg.Regions {
+		for i := 0; i < r.Count; i++ {
+			sites = append(sites, Site{
+				Name:   fmt.Sprintf("%s-%02d", r.Name, i),
+				Region: r.Name,
+				Lat:    r.LatMin + rng.Float64()*(r.LatMax-r.LatMin),
+				Lon:    r.LonMin + rng.Float64()*(r.LonMax-r.LonMin),
+			})
+			access = append(access, r.AccessMin+rng.Float64()*(r.AccessMax-r.AccessMin))
+		}
+	}
+
+	m := newDistMatrix(sites, access, cfg, rng)
+	m.MetricClosure()
+	return New(cfg.Name, sites, m)
+}
+
+// newDistMatrix computes the raw (pre-closure) pairwise RTTs.
+func newDistMatrix(sites []Site, access []float64, cfg GenConfig, rng *rand.Rand) *graph.Matrix {
+	n := len(sites)
+	m := graph.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			km := greatCircleKM(sites[i], sites[j])
+			oneWay := km / fiberKMPerMS * cfg.Inflation
+			rtt := 2*oneWay + access[i] + access[j]
+			if cfg.JitterFrac > 0 {
+				rtt *= 1 + (rng.Float64()*2-1)*cfg.JitterFrac
+			}
+			// Even co-located sites are separated by a LAN hop.
+			if rtt < 0.1 {
+				rtt = 0.1
+			}
+			m.Set(i, j, rtt)
+		}
+	}
+	return m
+}
+
+// greatCircleKM returns the haversine distance between two sites.
+func greatCircleKM(a, b Site) float64 {
+	const degToRad = math.Pi / 180
+	lat1, lon1 := a.Lat*degToRad, a.Lon*degToRad
+	lat2, lon2 := b.Lat*degToRad, b.Lon*degToRad
+	dLat, dLon := lat2-lat1, lon2-lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKM * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// PlanetLab50 synthesizes the stand-in for the paper's "Planetlab-50"
+// topology: 50 sites dominated by North American and European academic
+// hosts with a tail in Asia, South America, and Oceania, and academic
+// access-link delays.
+func PlanetLab50(seed int64) *Topology {
+	cfg := GenConfig{
+		Name:      "planetlab-50",
+		Inflation: 1.4,
+		// PlanetLab RTT measurements fluctuate across months; ±12% jitter
+		// models measurement spread without destroying cluster structure.
+		JitterFrac: 0.12,
+		Regions: []RegionSpec{
+			{Name: "na-east", Count: 12, LatMin: 35, LatMax: 45, LonMin: -80, LonMax: -70, AccessMin: 1, AccessMax: 6},
+			{Name: "na-west", Count: 8, LatMin: 33, LatMax: 48, LonMin: -123, LonMax: -115, AccessMin: 1, AccessMax: 6},
+			{Name: "europe", Count: 15, LatMin: 42, LatMax: 58, LonMin: -5, LonMax: 20, AccessMin: 1, AccessMax: 6},
+			{Name: "east-asia", Count: 7, LatMin: 22, LatMax: 40, LonMin: 105, LonMax: 140, AccessMin: 2, AccessMax: 8},
+			{Name: "s-america", Count: 3, LatMin: -35, LatMax: -10, LonMin: -70, LonMax: -45, AccessMin: 3, AccessMax: 10},
+			{Name: "oceania", Count: 3, LatMin: -40, LatMax: -28, LonMin: 140, LonMax: 155, AccessMin: 2, AccessMax: 8},
+			{Name: "africa", Count: 2, LatMin: -30, LatMax: 0, LonMin: 15, LonMax: 35, AccessMin: 5, AccessMax: 15},
+		},
+	}
+	t, err := Generate(cfg, seed)
+	if err != nil {
+		// The configuration above is statically valid; an error here is a
+		// programming bug, not a runtime condition.
+		panic(err)
+	}
+	return t
+}
+
+// Daxlist161 synthesizes the stand-in for the paper's "daxlist-161"
+// topology: 161 well-connected web servers concentrated in North America
+// and Europe with low access delays, yielding a denser, lower-latency
+// metric than PlanetLab50.
+func Daxlist161(seed int64) *Topology {
+	cfg := GenConfig{
+		Name:       "daxlist-161",
+		Inflation:  1.35,
+		JitterFrac: 0.10,
+		Regions: []RegionSpec{
+			{Name: "na-east", Count: 45, LatMin: 33, LatMax: 46, LonMin: -85, LonMax: -70, AccessMin: 0.5, AccessMax: 3},
+			{Name: "na-central", Count: 20, LatMin: 30, LatMax: 45, LonMin: -100, LonMax: -88, AccessMin: 0.5, AccessMax: 3},
+			{Name: "na-west", Count: 25, LatMin: 33, LatMax: 48, LonMin: -123, LonMax: -112, AccessMin: 0.5, AccessMax: 3},
+			{Name: "europe", Count: 48, LatMin: 40, LatMax: 58, LonMin: -8, LonMax: 22, AccessMin: 0.5, AccessMax: 3},
+			{Name: "east-asia", Count: 15, LatMin: 22, LatMax: 40, LonMin: 105, LonMax: 140, AccessMin: 1, AccessMax: 4},
+			{Name: "oceania", Count: 4, LatMin: -40, LatMax: -28, LonMin: 140, LonMax: 155, AccessMin: 1, AccessMax: 4},
+			{Name: "s-america", Count: 4, LatMin: -30, LatMax: -15, LonMin: -65, LonMax: -45, AccessMin: 2, AccessMax: 6},
+		},
+	}
+	t, err := Generate(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DefaultSeed is the seed used by the experiment harness so that published
+// EXPERIMENTS.md numbers are reproducible.
+const DefaultSeed = 20070625 // DSN'07 conference date

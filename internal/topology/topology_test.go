@@ -1,0 +1,218 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/quorumnet/quorumnet/internal/graph"
+)
+
+func line3() *Topology {
+	m := graph.NewMatrix(3)
+	m.Set(0, 1, 10)
+	m.Set(1, 2, 10)
+	m.Set(0, 2, 20)
+	t, err := New("line3", []Site{{Name: "a"}, {Name: "b"}, {Name: "c"}}, m)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestNewRejectsSizeMismatch(t *testing.T) {
+	m := graph.NewMatrix(2)
+	if _, err := New("bad", []Site{{Name: "a"}}, m); err == nil {
+		t.Error("New with mismatched sizes succeeded, want error")
+	}
+}
+
+func TestNewRejectsNonMetric(t *testing.T) {
+	m := graph.NewMatrix(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 1)
+	m.Set(0, 2, 100) // triangle violation
+	if _, err := New("bad", make([]Site, 3), m); err == nil {
+		t.Error("New with non-metric matrix succeeded, want error")
+	}
+}
+
+func TestDefaultCapacityIsOne(t *testing.T) {
+	tp := line3()
+	for i := 0; i < tp.Size(); i++ {
+		if tp.Capacity(i) != 1 {
+			t.Errorf("Capacity(%d) = %v, want 1", i, tp.Capacity(i))
+		}
+	}
+}
+
+func TestSetCapacityValidation(t *testing.T) {
+	tp := line3()
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := tp.SetCapacity(0, bad); err == nil {
+			t.Errorf("SetCapacity(0, %v) succeeded, want error", bad)
+		}
+	}
+	if err := tp.SetCapacity(0, 0.5); err != nil {
+		t.Errorf("SetCapacity(0, 0.5): %v", err)
+	}
+	if tp.Capacity(0) != 0.5 {
+		t.Errorf("Capacity(0) = %v, want 0.5", tp.Capacity(0))
+	}
+}
+
+func TestCloneCapacityIsolation(t *testing.T) {
+	tp := line3()
+	cl := tp.Clone()
+	if err := cl.SetCapacity(1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Capacity(1) != 1 {
+		t.Error("mutating clone capacity changed original")
+	}
+}
+
+func TestMedianOfLine(t *testing.T) {
+	tp := line3()
+	site, avg := tp.Median()
+	if site != 1 {
+		t.Errorf("Median() = %d, want 1", site)
+	}
+	if want := 20.0 / 3.0; math.Abs(avg-want) > 1e-12 {
+		t.Errorf("Median avg = %v, want %v", avg, want)
+	}
+}
+
+func TestPlanetLab50Shape(t *testing.T) {
+	tp := PlanetLab50(DefaultSeed)
+	if tp.Size() != 50 {
+		t.Fatalf("Size() = %d, want 50", tp.Size())
+	}
+	if !tp.Distances().IsMetric(1e-6) {
+		t.Error("PlanetLab50 matrix is not a metric")
+	}
+	st := tp.Stats()
+	// WAN sanity: intercontinental pairs exist (>120 ms) and intra-cluster
+	// pairs exist (<20 ms).
+	if st.MaxRTT < 120 {
+		t.Errorf("MaxRTT = %v, want >= 120 (intercontinental RTTs expected)", st.MaxRTT)
+	}
+	if st.MinRTT > 20 {
+		t.Errorf("MinRTT = %v, want <= 20 (intra-cluster RTTs expected)", st.MinRTT)
+	}
+	if st.AvgRTT < 40 || st.AvgRTT > 250 {
+		t.Errorf("AvgRTT = %v, outside plausible WAN band [40, 250]", st.AvgRTT)
+	}
+}
+
+func TestDaxlist161Shape(t *testing.T) {
+	tp := Daxlist161(DefaultSeed)
+	if tp.Size() != 161 {
+		t.Fatalf("Size() = %d, want 161", tp.Size())
+	}
+	if !tp.Distances().IsMetric(1e-6) {
+		t.Error("Daxlist161 matrix is not a metric")
+	}
+	pl := PlanetLab50(DefaultSeed)
+	// The web-server topology is better connected than PlanetLab: its
+	// median node should see lower average delay.
+	_, dAvg := tp.Median()
+	_, pAvg := pl.Median()
+	if dAvg >= pAvg {
+		t.Errorf("daxlist median avg RTT %v >= planetlab %v; want denser topology", dAvg, pAvg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := PlanetLab50(7)
+	b := PlanetLab50(7)
+	for i := 0; i < a.Size(); i++ {
+		for j := 0; j < a.Size(); j++ {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				t.Fatalf("same seed differs at (%d,%d): %v vs %v", i, j, a.RTT(i, j), b.RTT(i, j))
+			}
+		}
+	}
+	c := PlanetLab50(8)
+	same := true
+	for i := 0; i < a.Size() && same; i++ {
+		for j := i + 1; j < a.Size(); j++ {
+			if a.RTT(i, j) != c.RTT(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical topologies")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  GenConfig
+	}{
+		{name: "no regions", cfg: GenConfig{Name: "x", Inflation: 1.5}},
+		{name: "negative count", cfg: GenConfig{Name: "x", Inflation: 1.5, Regions: []RegionSpec{{Name: "r", Count: -1}}}},
+		{name: "zero inflation", cfg: GenConfig{Name: "x", Regions: []RegionSpec{{Name: "r", Count: 2}}}},
+		{name: "bad jitter", cfg: GenConfig{Name: "x", Inflation: 1.5, JitterFrac: 1.5, Regions: []RegionSpec{{Name: "r", Count: 2}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Generate(tc.cfg, 1); err == nil {
+				t.Error("Generate succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestGreatCircle(t *testing.T) {
+	// New York (40.7, -74.0) to London (51.5, -0.1) is about 5570 km.
+	ny := Site{Lat: 40.7, Lon: -74.0}
+	ldn := Site{Lat: 51.5, Lon: -0.1}
+	km := greatCircleKM(ny, ldn)
+	if km < 5400 || km > 5750 {
+		t.Errorf("greatCircleKM(NY, London) = %v, want ~5570", km)
+	}
+	if d := greatCircleKM(ny, ny); d != 0 {
+		t.Errorf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestGenerateRTTProperty(t *testing.T) {
+	// Property: all RTTs are positive off the diagonal, zero on it, for
+	// arbitrary seeds.
+	f := func(seed int64) bool {
+		tp := PlanetLab50(seed)
+		for i := 0; i < tp.Size(); i++ {
+			if tp.RTT(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < tp.Size(); j++ {
+				if i != j && tp.RTT(i, j) <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsRegions(t *testing.T) {
+	tp := PlanetLab50(DefaultSeed)
+	st := tp.Stats()
+	total := 0
+	for _, c := range st.Regions {
+		total += c
+	}
+	if total != 50 {
+		t.Errorf("region counts sum to %d, want 50", total)
+	}
+	if st.Regions["europe"] != 15 {
+		t.Errorf("europe count = %d, want 15", st.Regions["europe"])
+	}
+}

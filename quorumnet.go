@@ -1,0 +1,312 @@
+// Package quorumnet places quorum systems on wide-area networks and tunes
+// client access strategies to minimize average response time, implementing
+// Oprea & Reiter, "Minimizing Response Time for Quorum-System Protocols
+// over Wide-Area Networks" (DSN 2007).
+//
+// The library models a WAN as a round-trip-time metric over sites
+// (Topology), a quorum system over logical elements (System), a placement
+// of elements onto sites (Placement), and per-client access strategies
+// (Strategy). Response time follows the paper's model:
+//
+//	ρ(v, Q) = max_{w ∈ f(Q)} ( d(v, w) + α·load(w) )
+//
+// averaged over clients and quorum choices. With α = 0 this is pure
+// network delay (light demand); α = 0.007·client_demand models processing
+// delay under load.
+//
+// # Quickstart
+//
+//	topo := quorumnet.PlanetLab50(1)
+//	sys, _ := quorumnet.NewGrid(5)
+//	f, _ := quorumnet.OneToOne(topo, sys, quorumnet.PlacementOptions{})
+//	e, _ := quorumnet.NewEval(topo, sys, f, quorumnet.AlphaForDemand(4000))
+//	fmt.Println(e.AvgResponseTime(quorumnet.Closest))
+//
+// Subsystems: synthetic WAN topology generation and serialization; the
+// Majority and Grid quorum constructions with closed-form balanced-
+// strategy evaluation; one-to-one, singleton, and many-to-one placement
+// algorithms (the latter via an LP relaxation, Lin–Vitter filtering and
+// Shmoys–Tardos rounding over the built-in simplex solver); the
+// access-strategy LP; capacity tuning; the §4.2 iterative algorithm; and
+// a discrete-event Q/U protocol simulator. The experiment harness that
+// regenerates every figure of the paper is exposed through Experiments
+// and the quorumbench command.
+package quorumnet
+
+import (
+	"io"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/experiments"
+	"github.com/quorumnet/quorumnet/internal/faults"
+	"github.com/quorumnet/quorumnet/internal/placement"
+	"github.com/quorumnet/quorumnet/internal/protocol"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/strategy"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// Topology is a set of wide-area sites with an RTT metric (milliseconds)
+// and per-site capacities.
+type Topology = topology.Topology
+
+// Site describes one wide-area location.
+type Site = topology.Site
+
+// TopologyConfig parameterizes the synthetic WAN generator.
+type TopologyConfig = topology.GenConfig
+
+// RegionSpec is one geographic cluster of a TopologyConfig.
+type RegionSpec = topology.RegionSpec
+
+// DefaultSeed reproduces the topologies used in EXPERIMENTS.md.
+const DefaultSeed = topology.DefaultSeed
+
+// PlanetLab50 synthesizes the 50-site PlanetLab-like topology of the
+// paper's evaluation.
+func PlanetLab50(seed int64) *Topology { return topology.PlanetLab50(seed) }
+
+// Daxlist161 synthesizes the 161-site web-server topology of the paper's
+// evaluation.
+func Daxlist161(seed int64) *Topology { return topology.Daxlist161(seed) }
+
+// GenerateTopology builds a topology from a custom cluster configuration.
+func GenerateTopology(cfg TopologyConfig, seed int64) (*Topology, error) {
+	return topology.Generate(cfg, seed)
+}
+
+// LoadTopology reads a topology in the quorumnet text format, repairing
+// asymmetry and triangle violations by metric closure.
+func LoadTopology(r io.Reader) (*Topology, error) { return topology.Load(r) }
+
+// SaveTopology writes a topology in the quorumnet text format.
+func SaveTopology(w io.Writer, t *Topology) error { return topology.Save(w, t) }
+
+// System is a quorum system over a universe of logical elements.
+type System = quorum.System
+
+// Threshold is the Majority (voting) quorum system family.
+type Threshold = quorum.Threshold
+
+// Grid is the k×k grid quorum system (quorum = one row plus one column).
+type Grid = quorum.Grid
+
+// SingletonSystem is the one-element baseline system.
+type SingletonSystem = quorum.Singleton
+
+// NewThreshold returns the threshold system with quorums of size q over n
+// elements (requires 2q > n).
+func NewThreshold(q, n int) (Threshold, error) { return quorum.NewThreshold(q, n) }
+
+// SimpleMajority returns the (t+1, 2t+1) Majority.
+func SimpleMajority(t int) (Threshold, error) { return quorum.SimpleMajority(t) }
+
+// ByzantineMajority returns the (2t+1, 3t+1) Majority.
+func ByzantineMajority(t int) (Threshold, error) { return quorum.ByzantineMajority(t) }
+
+// QUMajority returns the (4t+1, 5t+1) Majority used by Q/U.
+func QUMajority(t int) (Threshold, error) { return quorum.QUMajority(t) }
+
+// NewGrid returns the k×k Grid system.
+func NewGrid(k int) (Grid, error) { return quorum.NewGrid(k) }
+
+// ExplicitSystem is a quorum system given by an explicit quorum list,
+// for user-defined constructions.
+type ExplicitSystem = quorum.Explicit
+
+// NewExplicitSystem builds a quorum system from explicit quorums over
+// {0..n-1}, verifying the pairwise-intersection property.
+func NewExplicitSystem(name string, n int, quorums [][]int) (*ExplicitSystem, error) {
+	return quorum.NewExplicit(name, n, quorums)
+}
+
+// FailureResilience returns the largest f such that the system survives
+// every failure of f elements (n − q for thresholds, k − 1 for grids).
+func FailureResilience(sys System) int { return quorum.FailureResilience(sys) }
+
+// ErrNoQuorumSurvives reports that a failure kills every quorum.
+var ErrNoQuorumSurvives = quorum.ErrNoQuorumSurvives
+
+// Placement maps universe elements to topology sites.
+type Placement = core.Placement
+
+// NewPlacement builds a placement from an element→site table.
+func NewPlacement(target []int, topo *Topology) (Placement, error) {
+	return core.NewPlacement(target, topo)
+}
+
+// PlacementOptions tunes the placement search.
+type PlacementOptions = placement.Options
+
+// ManyToOneConfig parameterizes the §4.1.2 many-to-one placement.
+type ManyToOneConfig = placement.ManyToOneConfig
+
+// IterateConfig parameterizes the §4.2 iterative algorithm.
+type IterateConfig = placement.IterateConfig
+
+// IterResult is the outcome of the iterative algorithm.
+type IterResult = placement.IterResult
+
+// OneToOne computes the delay-minimizing one-to-one placement for the
+// system (ball construction for Majorities, shell construction for
+// Grids).
+func OneToOne(topo *Topology, sys System, opts PlacementOptions) (Placement, error) {
+	return placement.OneToOne(topo, sys, opts)
+}
+
+// SingletonPlacement places an n-element universe on the topology median.
+func SingletonPlacement(topo *Topology, n int) (Placement, error) {
+	return placement.Singleton(topo, n)
+}
+
+// ManyToOne computes the almost-capacity-respecting many-to-one placement
+// (LP relaxation → Lin–Vitter filtering → Shmoys–Tardos rounding).
+func ManyToOne(topo *Topology, sys System, cfg ManyToOneConfig) (Placement, error) {
+	return placement.ManyToOne(topo, sys, cfg)
+}
+
+// Iterate runs the §4.2 iterative placement/strategy algorithm.
+func Iterate(topo *Topology, sys System, cfg IterateConfig) (*IterResult, error) {
+	return placement.Iterate(topo, sys, cfg)
+}
+
+// Eval evaluates (topology, system, placement) triples under the response
+// time model.
+type Eval = core.Eval
+
+// Strategy is a family of per-client quorum-access distributions.
+type Strategy = core.Strategy
+
+// ExplicitStrategy is a per-client distribution over enumerated quorums.
+type ExplicitStrategy = core.ExplicitStrategy
+
+// LoadMode selects the node-load accounting model.
+type LoadMode = core.LoadMode
+
+// Load accounting models: the paper's multiplicity model and the §8
+// future-work dedup model.
+const (
+	LoadMultiplicity = core.LoadMultiplicity
+	LoadDedup        = core.LoadDedup
+)
+
+// Built-in strategies.
+var (
+	// Closest is §6's deterministic closest-quorum strategy.
+	Closest Strategy = core.ClosestStrategy{}
+	// Balanced is the uniform (load-dispersing) strategy.
+	Balanced Strategy = core.BalancedStrategy{}
+)
+
+// NewEval validates and builds an evaluator; alpha converts load into
+// milliseconds of processing delay.
+func NewEval(topo *Topology, sys System, f Placement, alpha float64) (*Eval, error) {
+	return core.NewEval(topo, sys, f, alpha)
+}
+
+// AlphaForDemand returns alpha = 0.007 ms × clientDemand, the paper's §7
+// setting.
+func AlphaForDemand(clientDemand float64) float64 { return core.AlphaForDemand(clientDemand) }
+
+// Heterogeneous client demand (an extension; the paper weighs clients
+// equally) is configured per evaluation with (*Eval).SetClientWeights;
+// loads, response-time averages, and the strategy LP all honor the
+// weights.
+
+// OptimizeResult carries LP-optimized strategies.
+type OptimizeResult = strategy.Result
+
+// SweepPoint is one capacity setting's outcome in a sweep.
+type SweepPoint = strategy.SweepPoint
+
+// OptimizeStrategies solves the access-strategy LP (4.3)–(4.6) under the
+// given per-site capacities.
+func OptimizeStrategies(e *Eval, caps []float64) (*OptimizeResult, error) {
+	return strategy.Optimize(e, caps)
+}
+
+// SweepValues returns the capacity grid c_i = Lopt + i·(1−Lopt)/count.
+func SweepValues(lopt float64, count int) []float64 { return strategy.SweepValues(lopt, count) }
+
+// UniformCapacitySweep optimizes strategies at each uniform capacity value.
+func UniformCapacitySweep(e *Eval, values []float64) ([]SweepPoint, error) {
+	return strategy.UniformSweep(e, values)
+}
+
+// NonUniformCapacitySweep uses the §7 heuristic (capacity inversely
+// proportional to client distance) over intervals [lopt, c].
+func NonUniformCapacitySweep(e *Eval, lopt float64, values []float64) ([]SweepPoint, error) {
+	return strategy.NonUniformSweep(e, lopt, values)
+}
+
+// NonUniformCaps computes the heuristic capacities for [beta, gamma].
+func NonUniformCaps(e *Eval, beta, gamma float64) ([]float64, error) {
+	return strategy.NonUniformCaps(e, beta, gamma)
+}
+
+// BestSweepPoint returns the feasible sweep point minimizing response time.
+func BestSweepPoint(points []SweepPoint) (SweepPoint, error) { return strategy.Best(points) }
+
+// ApplyFailures restricts an evaluation to the survivors of node
+// failures: elements on failed nodes die, the quorum system shrinks to
+// the surviving quorums, and failed nodes leave the client set. Returns
+// ErrNoQuorumSurvives (wrapped) when the service becomes unavailable.
+func ApplyFailures(e *Eval, failedNodes []int) (*Eval, error) {
+	return faults.Apply(e, failedNodes)
+}
+
+// Availability estimates by Monte Carlo the probability that some quorum
+// survives when each node fails independently with probability pFail.
+func Availability(e *Eval, pFail float64, trials int, seed int64) (float64, error) {
+	return faults.Availability(e, pFail, trials, seed)
+}
+
+// ThresholdAvailability is the exact binomial availability of a
+// one-to-one placed threshold system.
+func ThresholdAvailability(q, n int, pFail float64) (float64, error) {
+	return faults.ThresholdAvailabilityExact(q, n, pFail)
+}
+
+// WorstCaseFailure returns a deterministic adversarial choice of f
+// support nodes to fail (most elements hosted, then closest to clients).
+func WorstCaseFailure(e *Eval, f int) []int { return faults.WorstCaseFailure(e, f) }
+
+// Slowdown models degraded nodes: delays through them are multiplied by
+// factor and the metric re-closed (traffic may route around them).
+func Slowdown(e *Eval, slowNodes []int, factor float64) (*Eval, error) {
+	return faults.Slowdown(e, slowNodes, factor)
+}
+
+// ProtocolConfig configures a Q/U-style protocol run.
+type ProtocolConfig = protocol.Config
+
+// ProtocolMetrics summarizes a protocol run.
+type ProtocolMetrics = protocol.Metrics
+
+// RunProtocol executes the single-round quorum protocol on a fresh
+// discrete-event simulator.
+func RunProtocol(cfg ProtocolConfig) (*ProtocolMetrics, error) { return protocol.RunSim(cfg) }
+
+// RunProtocolAveraged averages several runs with consecutive seeds, as
+// the paper does.
+func RunProtocolAveraged(cfg ProtocolConfig, runs int) (*ProtocolMetrics, error) {
+	return protocol.RunSimAveraged(cfg, runs)
+}
+
+// Experiment regenerates one of the paper's figures.
+type Experiment = experiments.Experiment
+
+// ExperimentParams scales the experiment harness.
+type ExperimentParams = experiments.Params
+
+// ResultTable is a regenerated figure.
+type ResultTable = experiments.Table
+
+// Experiments lists every figure runner in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up a figure runner ("fig6.3", "fig8.9", …).
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// DefaultExperimentParams mirrors the paper's configuration.
+func DefaultExperimentParams() ExperimentParams { return experiments.DefaultParams() }

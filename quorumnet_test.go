@@ -1,0 +1,135 @@
+package quorumnet_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	quorumnet "github.com/quorumnet/quorumnet"
+)
+
+// TestPublicAPIPipeline exercises the whole public surface end to end:
+// topology → system → placement → evaluation → strategy LP → best
+// capacity, the way a downstream user would.
+func TestPublicAPIPipeline(t *testing.T) {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	if topo.Size() != 50 {
+		t.Fatalf("topology size = %d", topo.Size())
+	}
+
+	sys, err := quorumnet.NewGrid(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := quorumnet.OneToOne(topo, sys, quorumnet.PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsOneToOne() {
+		t.Error("OneToOne returned a many-to-one placement")
+	}
+
+	e, err := quorumnet.NewEval(topo, sys, f, quorumnet.AlphaForDemand(16000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closest := e.AvgResponseTime(quorumnet.Closest)
+	balanced := e.AvgResponseTime(quorumnet.Balanced)
+	if closest <= 0 || balanced <= 0 {
+		t.Fatalf("non-positive response times: %v, %v", closest, balanced)
+	}
+
+	values := quorumnet.SweepValues(sys.OptimalLoad(), 5)
+	points, err := quorumnet.UniformCapacitySweep(e, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := quorumnet.BestSweepPoint(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LP with tuned capacity must beat or match both fixed strategies.
+	if best.Response > math.Min(closest, balanced)+1e-6 {
+		t.Errorf("LP-optimized %v worse than min(closest %v, balanced %v)",
+			best.Response, closest, balanced)
+	}
+}
+
+func TestPublicAPITopologyRoundTrip(t *testing.T) {
+	topo := quorumnet.Daxlist161(3)
+	var buf bytes.Buffer
+	if err := quorumnet.SaveTopology(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := quorumnet.LoadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != topo.Size() || back.Name() != topo.Name() {
+		t.Errorf("round trip mismatch: %d/%s", back.Size(), back.Name())
+	}
+}
+
+func TestPublicAPIProtocol(t *testing.T) {
+	topo := quorumnet.PlanetLab50(2)
+	sys, err := quorumnet.QUMajority(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := quorumnet.OneToOne(topo, sys, quorumnet.PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := quorumnet.RunProtocol(quorumnet.ProtocolConfig{
+		Topo:          topo,
+		ServerSites:   f.Targets(),
+		QuorumSize:    sys.QuorumSize(),
+		ClientSites:   []int{0, 10, 20},
+		ServiceTimeMS: 1,
+		DurationMS:    3000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 || m.AvgResponseMS < m.AvgNetDelayMS {
+		t.Errorf("implausible metrics: %+v", m)
+	}
+}
+
+func TestPublicAPIIterate(t *testing.T) {
+	topo := quorumnet.PlanetLab50(4)
+	sys, err := quorumnet.NewGrid(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := quorumnet.Iterate(topo, sys, quorumnet.IterateConfig{
+		MaxIterations: 2,
+		Candidates:    []int{0, 10, 20, 30, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 || res.Strategy == nil {
+		t.Error("iterate returned empty result")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if got := len(quorumnet.Experiments()); got != 10 {
+		t.Errorf("Experiments() = %d figures, want 10", got)
+	}
+	exp, err := quorumnet.ExperimentByID("fig6.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := quorumnet.DefaultExperimentParams()
+	p.Quick = true
+	tb, err := exp.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Error("empty experiment table")
+	}
+}

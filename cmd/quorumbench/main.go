@@ -7,12 +7,22 @@
 //	quorumbench -all
 //	quorumbench -all -markdown > results.md
 //	quorumbench -fig 3.1 -seed 7 -runs 3 -duration 10000
+//	quorumbench -fig 7.6 -cpuprofile fig76.prof
+//	quorumbench -all -reproducible
+//
+// By default the LP-heavy figures run on the fast path (warm-started,
+// partially priced, parallel solves); -reproducible regenerates the
+// tables bit-for-bit as the original serial harness did (see
+// EXPERIMENTS.md). -cpuprofile/-memprofile write pprof profiles of the
+// figure runs so performance work does not need throwaway harnesses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,7 +30,12 @@ import (
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the real main body so deferred profile writers execute
+// before the process exits, even on figure errors — a failing run is
+// exactly the one worth profiling.
+func run() int {
 	var (
 		fig       = flag.String("fig", "", "figure or ablation to regenerate (e.g. 6.3, fig6.3, abl-dedup)")
 		all       = flag.Bool("all", false, "regenerate every paper figure")
@@ -31,8 +46,24 @@ func main() {
 		seed      = flag.Int64("seed", topology.DefaultSeed, "topology/protocol seed")
 		runs      = flag.Int("runs", 5, "protocol simulation runs per point")
 		duration  = flag.Float64("duration", 20000, "protocol simulation length (ms)")
+		repro     = flag.Bool("reproducible", false, "bit-reproduce the original serial harness's tables (slower)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprof)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -41,7 +72,7 @@ func main() {
 		for _, e := range experiments.Ablations() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	params := experiments.Params{
@@ -49,6 +80,7 @@ func main() {
 		QURuns:       *runs,
 		QUDurationMS: *duration,
 		Quick:        *quick,
+		Reproducible: *repro,
 	}
 
 	var todo []experiments.Experiment
@@ -64,34 +96,51 @@ func main() {
 		}
 		e, err := experiments.ByID(id)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		todo = []experiments.Experiment{e}
 	default:
 		fmt.Fprintln(os.Stderr, "specify -fig <id>, -all, -ablations, or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	for _, e := range todo {
 		start := time.Now()
 		tb, err := e.Run(params)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fail(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		if *markdown {
 			if err := tb.FormatMarkdown(os.Stdout); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		} else {
 			if err := tb.Format(os.Stdout); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quorumbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "quorumbench:", err)
+	}
+}
+
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "quorumbench:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,3 @@
+module github.com/quorumnet/quorumnet
+
+go 1.24

@@ -135,6 +135,19 @@ func (e *Eval) clientIndex(v int) int {
 	return k
 }
 
+// Prewarm eagerly populates the evaluator's lazy caches (the memoized
+// quorum enumeration). Measures on an Eval are read-only afterwards, so
+// a prewarmed evaluator may be shared by concurrent readers — parallel
+// capacity sweeps call this before fanning out.
+func (e *Eval) Prewarm() {
+	if !e.Sys.Enumerable() {
+		return
+	}
+	for i := 0; i < e.Sys.NumQuorums(); i++ {
+		e.quorumElems(i)
+	}
+}
+
 // quorumElems memoizes enumerated quorums.
 func (e *Eval) quorumElems(i int) []int {
 	if e.quorums == nil {

@@ -140,7 +140,7 @@ func AblDedup(p Params) (*Table, error) {
 		if err := tp.SetUniformCapacity(c); err != nil {
 			return nil, err
 		}
-		f, err := placement.ManyToOne(tp, sys, placement.ManyToOneConfig{Candidates: candidates})
+		f, err := placement.ManyToOne(tp, sys, placement.ManyToOneConfig{Candidates: candidates, LP: p.lpOptions()})
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,13 @@ func AblDedup(p Params) (*Table, error) {
 		}
 		respOf := func(mode core.LoadMode) (float64, error) {
 			e.Mode = mode
-			res, err := strategy.Optimize(e, caps)
+			// The load mode changes the LP coefficients, so each mode
+			// needs its own optimizer workspace.
+			opt, err := strategy.NewOptimizer(e, strategy.Config{LP: p.lpOptions()})
+			if err != nil {
+				return 0, err
+			}
+			res, err := opt.Optimize(caps)
 			if err != nil {
 				return 0, err
 			}
@@ -363,7 +369,7 @@ func AblSweep(p Params) (*Table, error) {
 		counts = []int{3, 5}
 	}
 	for _, count := range counts {
-		pts, err := strategy.UniformSweep(e, strategy.SweepValues(sys.OptimalLoad(), count))
+		pts, err := strategy.UniformSweepCfg(e, strategy.SweepValues(sys.OptimalLoad(), count), p.sweepConfig())
 		if err != nil {
 			return nil, err
 		}

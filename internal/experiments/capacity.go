@@ -57,7 +57,7 @@ func Fig76(p Params) (*Table, error) {
 			return nil, err
 		}
 		values := strategy.SweepValues(e.Sys.OptimalLoad(), sweepCount(p))
-		pts, err := strategy.UniformSweep(e, values)
+		pts, err := strategy.UniformSweepCfg(e, values, p.sweepConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -92,11 +92,11 @@ func Fig77(p Params) (*Table, error) {
 		}
 		lopt := e.Sys.OptimalLoad()
 		values := strategy.SweepValues(lopt, sweepCount(p))
-		uni, err := strategy.UniformSweep(e, values)
+		uni, err := strategy.UniformSweepCfg(e, values, p.sweepConfig())
 		if err != nil {
 			return nil, err
 		}
-		non, err := strategy.NonUniformSweep(e, lopt, values)
+		non, err := strategy.NonUniformSweepCfg(e, lopt, values, p.sweepConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -132,11 +132,11 @@ func Fig78(p Params) (*Table, error) {
 	}
 	lopt := e.Sys.OptimalLoad()
 	values := strategy.SweepValues(lopt, sweepCount(p))
-	uni, err := strategy.UniformSweep(e, values)
+	uni, err := strategy.UniformSweepCfg(e, values, p.sweepConfig())
 	if err != nil {
 		return nil, err
 	}
-	non, err := strategy.NonUniformSweep(e, lopt, values)
+	non, err := strategy.NonUniformSweepCfg(e, lopt, values, p.sweepConfig())
 	if err != nil {
 		return nil, err
 	}

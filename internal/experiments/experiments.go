@@ -14,6 +14,8 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/strategy"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
 
@@ -29,6 +31,28 @@ type Params struct {
 	QUDurationMS float64
 	// Quick trims universe sizes and sweep resolution for tests.
 	Quick bool
+	// Reproducible forces cold, Dantzig-priced, serial-equivalent LP
+	// solves throughout, bit-for-bit reproducing the tables the original
+	// (pre-optimization) harness generated. The default fast path —
+	// warm-started, partially priced, parallel solves — reaches the same
+	// LP optima (objective-derived columns are identical), but on
+	// degenerate instances it may return a different optimal vertex,
+	// which can shift vertex-dependent columns (e.g. response time of an
+	// optimal-delay strategy) within the optimal face.
+	Reproducible bool
+}
+
+// lpOptions translates the reproducibility setting into solver options.
+func (p Params) lpOptions() lp.Options {
+	if p.Reproducible {
+		return lp.Options{}
+	}
+	return lp.Options{Pricing: lp.PricingPartial}
+}
+
+// sweepConfig translates the reproducibility setting into sweep options.
+func (p Params) sweepConfig() strategy.SweepConfig {
+	return strategy.SweepConfig{Reproducible: p.Reproducible}
 }
 
 // DefaultParams mirrors the paper's configuration.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/par"
 	"github.com/quorumnet/quorumnet/internal/placement"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/strategy"
@@ -52,25 +53,47 @@ func Fig89(p Params) (*Table, error) {
 	if p.Quick {
 		candidates = []int{0, 5, 10, 15}
 	}
-	for _, c := range values {
+	// Each capacity value runs the full iterative algorithm independently
+	// (on its own topology clone), so the sweep fans out over a bounded
+	// worker pool; results land in value order regardless of scheduling.
+	type point struct {
+		iter1, iter2 float64
+		err          error
+	}
+	pts := make([]point, len(values))
+	runPoint := func(i int) {
+		c := values[i]
 		tp := topo.Clone()
 		if err := tp.SetUniformCapacity(c); err != nil {
-			return nil, err
+			pts[i].err = err
+			return
 		}
 		res, err := placement.Iterate(tp, sys, placement.IterateConfig{
 			Alpha:         0,
 			MaxIterations: 2,
 			Candidates:    candidates,
+			LP:            p.lpOptions(),
+			// The capacity points already saturate the worker pool;
+			// nesting the anchor search's pool on top would multiply
+			// live LP workspaces to GOMAXPROCS².
+			Workers: 1,
 		})
 		if err != nil {
-			return nil, err
+			pts[i].err = err
+			return
 		}
-		iter1 := res.History[0].Phase2NetDelay
-		iter2 := iter1
+		pts[i].iter1 = res.History[0].Phase2NetDelay
+		pts[i].iter2 = pts[i].iter1
 		if len(res.History) > 1 {
-			iter2 = res.History[1].Phase2NetDelay
+			pts[i].iter2 = res.History[1].Phase2NetDelay
 		}
-		tb.AddRow(f3(c), f2(iter1), f2(iter2), f2(otoDelay))
+	}
+	par.For(len(values), 0, runPoint)
+	for i, c := range values {
+		if pts[i].err != nil {
+			return nil, pts[i].err
+		}
+		tb.AddRow(f3(c), f2(pts[i].iter1), f2(pts[i].iter2), f2(otoDelay))
 	}
 	return tb, nil
 }

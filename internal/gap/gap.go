@@ -80,7 +80,11 @@ type Fractional [][]float64
 //
 // It returns lp.ErrInfeasible (wrapped) when capacities cannot host the
 // jobs.
-func SolveLP(ins *Instance) (Fractional, error) {
+func SolveLP(ins *Instance) (Fractional, error) { return SolveLPWith(ins, lp.Options{}) }
+
+// SolveLPWith is SolveLP with explicit solver options (e.g. partial
+// pricing for speed where bit-reproducibility is not required).
+func SolveLPWith(ins *Instance, opts lp.Options) (Fractional, error) {
 	if err := ins.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,7 +145,7 @@ func SolveLP(ins *Instance) (Fractional, error) {
 		}
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(opts)
 	if err != nil {
 		return nil, fmt.Errorf("gap: LP relaxation: %w", err)
 	}
@@ -203,7 +207,10 @@ func Filter(ins *Instance, x Fractional, eps float64) (Fractional, error) {
 // Shmoys–Tardos slot construction. The returned slice maps each job to
 // its machine. Machine loads exceed the fractional loads of x by at most
 // the largest job size assigned fractionally to that machine.
-func Round(ins *Instance, x Fractional) ([]int, error) {
+func Round(ins *Instance, x Fractional) ([]int, error) { return RoundWith(ins, x, lp.Options{}) }
+
+// RoundWith is Round with explicit solver options.
+func RoundWith(ins *Instance, x Fractional, opts lp.Options) ([]int, error) {
 	nj, nm := len(ins.Sizes), len(ins.Capacities)
 
 	type slotRef struct {
@@ -297,7 +304,7 @@ func Round(ins *Instance, x Fractional) ([]int, error) {
 			return nil, err
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(opts)
 	if err != nil {
 		return nil, fmt.Errorf("gap: matching LP: %w", err)
 	}
@@ -337,7 +344,13 @@ type Assignment struct {
 
 // Solve runs LP → filter(eps) → round and summarizes the result.
 func Solve(ins *Instance, eps float64) (*Assignment, error) {
-	x, err := SolveLP(ins)
+	return SolveWith(ins, eps, lp.Options{})
+}
+
+// SolveWith is Solve with explicit solver options, threaded through both
+// the relaxation and the matching LP.
+func SolveWith(ins *Instance, eps float64, opts lp.Options) (*Assignment, error) {
+	x, err := SolveLPWith(ins, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +366,7 @@ func Solve(ins *Instance, eps float64) (*Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	assign, err := Round(ins, filtered)
+	assign, err := RoundWith(ins, filtered, opts)
 	if err != nil {
 		return nil, err
 	}

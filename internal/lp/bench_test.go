@@ -68,3 +68,144 @@ func BenchmarkSolveAssignment144x50(b *testing.B) {
 		}
 	}
 }
+
+// strategyLP builds an instance shaped like the §4.2 access-strategy LP
+// for nc clients and m quorums over nNodes sites: one convexity row per
+// client and one capacity row per node, whose columns couple every
+// client's variables for the quorums touching that node.
+func strategyLP(b *testing.B, nc, m, nNodes int, seed int64) (*Problem, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Quorum i touches a random handful of nodes with small multiplicities.
+	touch := make([][]int, m)
+	for i := range touch {
+		k := 2 + rng.Intn(4)
+		seen := map[int]bool{}
+		for len(touch[i]) < k {
+			w := rng.Intn(nNodes)
+			if !seen[w] {
+				seen[w] = true
+				touch[i] = append(touch[i], w)
+			}
+		}
+	}
+	p := NewProblem(nc * m)
+	for k := 0; k < nc; k++ {
+		for i := 0; i < m; i++ {
+			if err := p.SetObjectiveCoeff(k*m+i, 10+rng.Float64()*200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	idx := make([]int, m)
+	ones := make([]float64, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for k := 0; k < nc; k++ {
+		for i := 0; i < m; i++ {
+			idx[i] = k*m + i
+		}
+		if err := p.AddConstraint(idx, ones, EQ, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	capRows := make([]int, 0, nNodes)
+	for w := 0; w < nNodes; w++ {
+		var cidx []int
+		var ccoef []float64
+		for i := 0; i < m; i++ {
+			hit := false
+			for _, tw := range touch[i] {
+				if tw == w {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			for k := 0; k < nc; k++ {
+				cidx = append(cidx, k*m+i)
+				ccoef = append(ccoef, 1)
+			}
+		}
+		if len(cidx) == 0 {
+			continue
+		}
+		if err := p.AddConstraint(cidx, ccoef, LE, float64(nc)); err != nil {
+			b.Fatal(err)
+		}
+		capRows = append(capRows, p.NumConstraints()-1)
+	}
+	return p, capRows
+}
+
+// BenchmarkSolveStrategyShaped measures a cold solve of a strategy-LP
+// instance (the per-sweep-point work before warm starts), with
+// allocation reporting so kernel regressions show up here rather than
+// only in the end-to-end figure harness.
+func BenchmarkSolveStrategyShaped(b *testing.B) {
+	p, _ := strategyLP(b, 40, 25, 30, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveWith(Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveStrategyShapedPartialPricing is the same instance under
+// the fast entering rule.
+func BenchmarkSolveStrategyShapedPartialPricing(b *testing.B) {
+	p, _ := strategyLP(b, 40, 25, 30, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveWith(Options{Pricing: PricingPartial}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveWarmStrategyShaped measures the capacity-sweep inner
+// loop: mutate the capacity right-hand sides, warm-start from the
+// previous basis. This is the allocation-free hot path.
+func BenchmarkSolveWarmStrategyShaped(b *testing.B) {
+	p, capRows := strategyLP(b, 40, 25, 30, 1)
+	opts := Options{Pricing: PricingPartial}
+	sol, err := p.SolveWith(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scale := 0.9 + 0.2*rng.Float64()
+		for _, r := range capRows {
+			if err := p.SetRHS(r, 40*scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sol, err = p.SolveWarm(opts, sol.Basis)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveGAPShaped measures the many-to-one placement's LP
+// relaxation shape (jobs × machines assignment with capacities), cold,
+// with allocation reporting.
+func BenchmarkSolveGAPShaped(b *testing.B) {
+	p := assignmentLP(b, 25, 50, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveWith(Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

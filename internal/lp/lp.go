@@ -55,11 +55,14 @@ var (
 )
 
 // Problem is a minimization LP over non-negative variables. The zero value
-// is unusable; create with NewProblem.
+// is unusable; create with NewProblem. A Problem is not safe for
+// concurrent use: it caches a solver workspace across Solve calls so that
+// RHS-only re-solves (SetRHS + SolveWarm) reuse the assembled columns.
 type Problem struct {
 	nVars int
 	obj   []float64
 	rows  []conRow
+	ws    *simplex // cached workspace; nil until first solve, dropped on structural change
 }
 
 type conRow struct {
@@ -129,8 +132,44 @@ func (p *Problem) AddConstraint(idx []int, coef []float64, op Op, rhs float64) e
 		rhs:  rhs,
 	}
 	p.rows = append(p.rows, row)
+	p.ws = nil // column structure changed; rebuild on next solve
 	return nil
 }
+
+// SetRHS replaces the right-hand side of row i (in the order the rows
+// were added), leaving its coefficients and operator untouched. This is
+// the mutation capacity sweeps perform between solves: combined with
+// SolveWarm it re-solves without reassembling any column storage.
+func (p *Problem) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.rows) {
+		return fmt.Errorf("lp: row %d out of range [0,%d)", i, len(p.rows))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: invalid rhs %v", rhs)
+	}
+	old := p.rows[i].rhs
+	p.rows[i].rhs = rhs
+	if (rhs < 0) != (old < 0) {
+		// The sign normalization flips the row, changing column signs and
+		// the slack/artificial layout: the workspace must be rebuilt.
+		p.ws = nil
+	} else if p.ws != nil {
+		p.ws.b[i] = rhs * p.ws.rowSign[i]
+	}
+	return nil
+}
+
+// RHS returns the current right-hand side of row i.
+func (p *Problem) RHS(i int) float64 { return p.rows[i].rhs }
+
+// Basis identifies the set of basic columns of a vertex solution:
+// Basis[i] is the column (in the solver's canonical numbering —
+// structural variables first, then one slack/surplus column per
+// inequality row in row order) that is basic in row i. It is opaque to
+// callers beyond being passed back to SolveWarm on the same Problem
+// after RHS-only edits; any structural change invalidates it (SolveWarm
+// then simply solves cold).
+type Basis []int
 
 // Solution is the result of a successful Solve.
 type Solution struct {
@@ -147,7 +186,31 @@ type Solution struct {
 	Duals []float64
 	// Iterations counts simplex pivots across both phases.
 	Iterations int
+	// Basis is the optimal basis, suitable for warm-starting a re-solve
+	// of the same Problem after RHS-only changes (see SolveWarm). It may
+	// reference leftover artificial columns when the constraint rows are
+	// linearly dependent; SolveWarm detects that and solves cold.
+	Basis Basis
 }
+
+// Pricing selects how the simplex chooses entering columns.
+type Pricing int
+
+const (
+	// PricingDantzig scans every column and enters the most negative
+	// reduced cost, breaking ties toward the lowest index. It is the
+	// default: fully deterministic and pivot-for-pivot compatible with
+	// the original solver, so results (including the particular optimal
+	// vertex reached on degenerate problems) are reproducible.
+	PricingDantzig Pricing = iota
+	// PricingPartial prices a rotating block of columns per pivot and
+	// enters the block's most negative reduced cost, falling back to
+	// scanning further blocks (a full pass in the worst case) before
+	// declaring optimality. Much cheaper per pivot on wide problems; on
+	// degenerate problems it may reach a different — equally optimal —
+	// vertex than Dantzig pricing.
+	PricingPartial
+)
 
 // Options tunes the solver. The zero value selects sensible defaults.
 type Options struct {
@@ -156,6 +219,8 @@ type Options struct {
 	MaxIterations int
 	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
 	Tol float64
+	// Pricing selects the entering-column rule (default PricingDantzig).
+	Pricing Pricing
 }
 
 // Solve minimizes the objective with default options.

@@ -1,43 +1,67 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
 
-// simplex state for one Solve call. Columns are stored sparsely; the basis
-// inverse is dense (m×m), maintained by pivoting and periodically
-// refactorized from scratch to shed accumulated floating-point error.
+// simplex is the solver workspace for one Problem. Columns are stored in
+// compressed sparse column (CSC) form; the basis inverse is dense (m×m,
+// flattened row-major into one contiguous slice), maintained by pivoting
+// and periodically refactorized from scratch to shed accumulated
+// floating-point error.
+//
+// The workspace is cached on the Problem and reused across solves: a
+// warm-started re-solve after an RHS-only change (SetRHS) touches no
+// column storage and allocates nothing on the pivot path.
 type simplex struct {
 	m    int // rows
 	n    int // total columns: structural + slack/surplus + artificial
 	nStr int // structural columns
 	nAux int // slack/surplus columns
 
-	cols []sparseCol
-	b    []float64 // rhs, non-negative after row normalization
+	// CSC column storage: column j's entries are
+	// (rowInd[t], vals[t]) for t in [colPtr[j], colPtr[j+1]).
+	colPtr []int
+	rowInd []int
+	vals   []float64
 
+	b       []float64 // rhs, non-negative after row normalization
+	rowSign []float64 // ±1 applied to each input row during normalization
+
+	costPh1 []float64 // phase-1 costs (1 on artificials)
 	costPh2 []float64 // phase-2 costs (structural only; aux/artificial = 0)
 
-	basis    []int  // basis[i] = column basic in row i
-	isBasic  []bool // by column
-	binv     [][]float64
+	firstArtificial int
+	initBasis       []int // the all-slack/artificial starting basis
+
+	basis    []int     // basis[i] = column basic in row i
+	isBasic  []bool    // by column
+	binv     []float64 // m×m row-major basis inverse
 	xB       []float64 // current basic values
 	tol      float64
 	maxIters int
 
-	iters      int
-	degenerate int // consecutive degenerate pivots, triggers Bland's rule
-}
+	iters         int
+	degenerate    int // consecutive degenerate pivots, triggers Bland's rule
+	pricing       Pricing
+	explicitIters bool // caller set Options.MaxIterations as a hard budget
 
-type sparseCol struct {
-	idx []int
-	val []float64
+	// Scratch buffers reused across pivots (and across solves).
+	y   []float64 // dual estimate c_B B⁻¹
+	dir []float64 // pivot direction B⁻¹ A_enter
+	aug []float64 // m×2m refactorization workspace, allocated on first use
+
+	priceStart int // rotating start of the partial-pricing scan
 }
 
 const (
 	refactorEvery  = 200
 	blandThreshold = 64
+	// priceBlockMin is the smallest candidate block scanned by partial
+	// pricing; larger problems scan n/8 columns per block.
+	priceBlockMin = 128
 )
 
 // SolveWith minimizes the objective with the given options.
@@ -46,8 +70,7 @@ func (p *Problem) SolveWith(opts Options) (*Solution, error) {
 	if tol == 0 {
 		tol = 1e-9
 	}
-	m := len(p.rows)
-	if m == 0 {
+	if len(p.rows) == 0 {
 		// Unconstrained non-negative minimization: each variable sits at 0
 		// unless its cost is negative, in which case the LP is unbounded.
 		for j, c := range p.obj {
@@ -57,48 +80,174 @@ func (p *Problem) SolveWith(opts Options) (*Solution, error) {
 		}
 		return &Solution{X: make([]float64, p.nVars)}, nil
 	}
+	s := p.workspace()
+	s.applyOptions(p, opts, tol)
+	return s.solveCold(p)
+}
 
-	s := &simplex{m: m, nStr: p.nVars, tol: tol}
+// SolveWarm re-solves the problem starting phase 2 from a prior basis,
+// typically Solution.Basis from an earlier solve of the same Problem
+// after only right-hand sides changed (SetRHS). If the basis no longer
+// applies — wrong shape, contains artificials, singular, or primal
+// infeasible under the new RHS — it falls back to a cold two-phase
+// solve, so SolveWarm is always safe to call.
+func (p *Problem) SolveWarm(opts Options, basis Basis) (*Solution, error) {
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if len(p.rows) == 0 || basis == nil {
+		return p.SolveWith(opts)
+	}
+	s := p.workspace()
+	s.applyOptions(p, opts, tol)
+	if !s.tryWarmBasis(basis) {
+		return s.solveCold(p)
+	}
+	if err := s.run(s.costPh2, s.firstArtificial, false); err != nil {
+		if err == errUnboundedInternal {
+			return nil, ErrUnbounded
+		}
+		if errors.Is(err, ErrIterationLimit) {
+			// Numeric trouble along the warm path (stall or a singular
+			// basis during refactorization). With the automatic pivot
+			// limit, retry from scratch with a fresh budget; a
+			// caller-specified MaxIterations is a hard compute bound, so
+			// honor it and surface the limit instead.
+			if s.explicitIters {
+				return nil, err
+			}
+			s.iters = 0
+			s.degenerate = 0
+			s.priceStart = 0
+			return s.solveCold(p)
+		}
+		return nil, err
+	}
+	return s.extract(p), nil
+}
 
-	// Build structural columns from the row-wise input.
-	s.cols = make([]sparseCol, p.nVars, p.nVars+2*m)
+// workspace returns the cached solver workspace, building it if the
+// problem structure changed since the last solve.
+func (p *Problem) workspace() *simplex {
+	if p.ws == nil {
+		p.ws = newSimplex(p)
+	}
+	return p.ws
+}
+
+// applyOptions refreshes per-solve tunables and the phase-2 costs (the
+// objective may have been edited between solves).
+func (s *simplex) applyOptions(p *Problem, opts Options, tol float64) {
+	s.tol = tol
+	s.maxIters = opts.MaxIterations
+	s.explicitIters = s.maxIters != 0
+	if s.maxIters == 0 {
+		s.maxIters = 200 * (s.m + s.n)
+		if s.maxIters < 20000 {
+			s.maxIters = 20000
+		}
+	}
+	copy(s.costPh2, p.obj)
+	for j := s.nStr; j < s.n; j++ {
+		s.costPh2[j] = 0
+	}
+	s.iters = 0
+	s.degenerate = 0
+	s.priceStart = 0
+	s.pricing = opts.Pricing
+}
+
+// newSimplex builds the canonical-form column storage for the problem:
+// sign-normalized rows, structural columns assembled without maps, then
+// slack/surplus and artificial columns.
+func newSimplex(p *Problem) *simplex {
+	m := len(p.rows)
+	s := &simplex{m: m, nStr: p.nVars}
+
 	s.b = make([]float64, m)
-	rowSign := make([]float64, m)
+	s.rowSign = make([]float64, m)
+	nnz := 0
 	for i, r := range p.rows {
-		rowSign[i] = 1
+		s.rowSign[i] = 1
 		if r.rhs < 0 {
-			rowSign[i] = -1
+			s.rowSign[i] = -1
 		}
-		s.b[i] = r.rhs * rowSign[i]
+		s.b[i] = r.rhs * s.rowSign[i]
+		nnz += len(r.idx)
 	}
-	// Accumulate (possibly duplicated) entries per column.
-	colMaps := make([]map[int]float64, p.nVars)
+
+	// Structural columns via counting sort over the (col, row, val)
+	// triples of the row-wise input: count entries per column, place each
+	// row's entries at its column cursor, then merge duplicates. Rows are
+	// scanned in order, so every column comes out sorted by row with
+	// duplicate rows adjacent — no maps, no comparison sort.
+	colPtr := make([]int, p.nVars+2)
+	counts := colPtr[1:] // counts[j] accumulates into colPtr[j+1]
+	for _, r := range p.rows {
+		for _, j := range r.idx {
+			counts[j+1]++
+		}
+	}
+	for j := 1; j <= p.nVars; j++ {
+		counts[j] += counts[j-1]
+	}
+	// counts[j] is now the cursor for column j; colPtr[j] the final start.
+	rowInd := make([]int, nnz, nnz+3*m)
+	vals := make([]float64, nnz, nnz+3*m)
 	for i, r := range p.rows {
+		sign := s.rowSign[i]
 		for k, j := range r.idx {
-			if colMaps[j] == nil {
-				colMaps[j] = make(map[int]float64, 4)
-			}
-			colMaps[j][i] += r.coef[k] * rowSign[i]
+			t := counts[j]
+			counts[j] = t + 1
+			rowInd[t] = i
+			vals[t] = r.coef[k] * sign
 		}
 	}
+	// Merge duplicate rows within each column and drop exact zeros,
+	// compacting in place.
+	w := 0
+	start := 0
 	for j := 0; j < p.nVars; j++ {
-		col := sparseCol{}
-		for i := 0; i < m; i++ {
-			if v, ok := colMaps[j][i]; ok && v != 0 {
-				col.idx = append(col.idx, i)
-				col.val = append(col.val, v)
+		end := counts[j] // one past column j's last entry
+		cstart := w
+		for t := start; t < end; {
+			row := rowInd[t]
+			v := vals[t]
+			t++
+			for t < end && rowInd[t] == row {
+				v += vals[t]
+				t++
+			}
+			if v != 0 {
+				rowInd[w] = row
+				vals[w] = v
+				w++
 			}
 		}
-		s.cols[j] = col
+		start = end
+		colPtr[j] = cstart
 	}
+	colPtr[p.nVars] = w
+	rowInd = rowInd[:w]
+	vals = vals[:w]
+	s.colPtr = colPtr[:p.nVars+1]
 
 	// Slack/surplus columns, then artificials where needed. A row's op
 	// flips when its sign was normalized.
-	s.basis = make([]int, m)
+	s.initBasis = make([]int, m)
 	needArtificial := make([]bool, m)
+	nCols := p.nVars
+	appendUnit := func(row int, v float64) int {
+		s.colPtr = append(s.colPtr, len(rowInd)+1)
+		rowInd = append(rowInd, row)
+		vals = append(vals, v)
+		nCols++
+		return nCols - 1
+	}
 	for i, r := range p.rows {
 		op := r.op
-		if rowSign[i] < 0 {
+		if s.rowSign[i] < 0 {
 			switch op {
 			case LE:
 				op = GE
@@ -108,50 +257,62 @@ func (p *Problem) SolveWith(opts Options) (*Solution, error) {
 		}
 		switch op {
 		case LE:
-			s.cols = append(s.cols, sparseCol{idx: []int{i}, val: []float64{1}})
-			s.basis[i] = len(s.cols) - 1
+			s.initBasis[i] = appendUnit(i, 1)
 		case GE:
-			s.cols = append(s.cols, sparseCol{idx: []int{i}, val: []float64{-1}})
+			appendUnit(i, -1)
 			needArtificial[i] = true
 		case EQ:
 			needArtificial[i] = true
 		}
 	}
-	s.nAux = len(s.cols) - s.nStr
-	firstArtificial := len(s.cols)
+	s.nAux = nCols - s.nStr
+	s.firstArtificial = nCols
 	for i := 0; i < m; i++ {
 		if needArtificial[i] {
-			s.cols = append(s.cols, sparseCol{idx: []int{i}, val: []float64{1}})
-			s.basis[i] = len(s.cols) - 1
+			s.initBasis[i] = appendUnit(i, 1)
 		}
 	}
-	s.n = len(s.cols)
+	s.n = nCols
+	s.rowInd = rowInd
+	s.vals = vals
 
-	s.maxIters = opts.MaxIterations
-	if s.maxIters == 0 {
-		s.maxIters = 200 * (m + s.n)
-		if s.maxIters < 20000 {
-			s.maxIters = 20000
-		}
-	}
-
+	s.basis = make([]int, m)
 	s.isBasic = make([]bool, s.n)
+	s.binv = make([]float64, m*m)
+	s.xB = make([]float64, m)
+	s.costPh2 = make([]float64, s.n)
+	if s.firstArtificial < s.n {
+		s.costPh1 = make([]float64, s.n)
+		for j := s.firstArtificial; j < s.n; j++ {
+			s.costPh1[j] = 1
+		}
+	}
+	s.y = make([]float64, m)
+	s.dir = make([]float64, m)
+	return s
+}
+
+// solveCold runs the two-phase simplex from the all-slack/artificial
+// starting basis.
+func (s *simplex) solveCold(p *Problem) (*Solution, error) {
+	copy(s.basis, s.initBasis)
+	for j := range s.isBasic {
+		s.isBasic[j] = false
+	}
 	for _, j := range s.basis {
 		s.isBasic[j] = true
 	}
-	s.binv = identity(m)
-	s.xB = append([]float64(nil), s.b...)
-
-	s.costPh2 = make([]float64, s.n)
-	copy(s.costPh2, p.obj)
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		s.binv[i*s.m+i] = 1
+	}
+	copy(s.xB, s.b)
 
 	// Phase 1: minimize the sum of artificials.
-	if firstArtificial < s.n {
-		costPh1 := make([]float64, s.n)
-		for j := firstArtificial; j < s.n; j++ {
-			costPh1[j] = 1
-		}
-		if err := s.run(costPh1, firstArtificial, true); err != nil {
+	if s.firstArtificial < s.n {
+		if err := s.run(s.costPh1, s.firstArtificial, true); err != nil {
 			if err == errUnboundedInternal {
 				// Phase 1 is bounded below by 0; this indicates numeric
 				// trouble, surface as iteration trouble.
@@ -159,20 +320,57 @@ func (p *Problem) SolveWith(opts Options) (*Solution, error) {
 			}
 			return nil, err
 		}
-		if obj := s.objective(costPh1); obj > 1e-7 {
+		if obj := s.objective(s.costPh1); obj > 1e-7 {
 			return nil, ErrInfeasible
 		}
-		s.pivotOutArtificials(firstArtificial)
+		s.pivotOutArtificials()
 	}
 
 	// Phase 2.
-	if err := s.run(s.costPh2, firstArtificial, false); err != nil {
+	if err := s.run(s.costPh2, s.firstArtificial, false); err != nil {
 		if err == errUnboundedInternal {
 			return nil, ErrUnbounded
 		}
 		return nil, err
 	}
+	return s.extract(p), nil
+}
 
+// tryWarmBasis installs a prior basis and reports whether it is usable:
+// right shape, no artificial columns, non-singular, and primal feasible
+// under the current right-hand sides.
+func (s *simplex) tryWarmBasis(basis Basis) bool {
+	if len(basis) != s.m {
+		return false
+	}
+	for j := range s.isBasic {
+		s.isBasic[j] = false
+	}
+	for _, j := range basis {
+		if j < 0 || j >= s.firstArtificial || s.isBasic[j] {
+			return false
+		}
+		s.isBasic[j] = true
+	}
+	copy(s.basis, basis)
+	if err := s.refactorize(); err != nil {
+		return false
+	}
+	for _, v := range s.xB {
+		if v < -1e-7 {
+			return false
+		}
+	}
+	for i, v := range s.xB {
+		if v < 0 {
+			s.xB[i] = 0
+		}
+	}
+	return true
+}
+
+// extract assembles the Solution from the optimal workspace state.
+func (s *simplex) extract(p *Problem) *Solution {
 	x := make([]float64, s.nStr)
 	for i, j := range s.basis {
 		if j < s.nStr {
@@ -189,22 +387,28 @@ func (p *Problem) SolveWith(opts Options) (*Solution, error) {
 
 	// Dual values: y = c_B B⁻¹ on the sign-normalized system, mapped back
 	// to the original row orientation.
-	duals := make([]float64, m)
+	duals := make([]float64, s.m)
 	for i := 0; i < s.m; i++ {
 		cb := s.costPh2[s.basis[i]]
 		if cb == 0 {
 			continue
 		}
-		row := s.binv[i]
-		for k := 0; k < s.m; k++ {
-			duals[k] += cb * row[k]
+		row := s.binv[i*s.m : i*s.m+s.m]
+		for k, rv := range row {
+			duals[k] += cb * rv
 		}
 	}
 	for i := range duals {
-		duals[i] *= rowSign[i]
+		duals[i] *= s.rowSign[i]
 	}
 
-	return &Solution{X: x, Objective: obj, Duals: duals, Iterations: s.iters}, nil
+	return &Solution{
+		X:          x,
+		Objective:  obj,
+		Duals:      duals,
+		Iterations: s.iters,
+		Basis:      append(Basis(nil), s.basis...),
+	}
 }
 
 var errUnboundedInternal = fmt.Errorf("lp: internal unbounded marker")
@@ -216,6 +420,7 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 	if phase1 {
 		banFrom = s.n // artificials may move during phase 1
 	}
+	m := s.m
 	sinceRefactor := 0
 	for {
 		if s.iters >= s.maxIters {
@@ -229,49 +434,34 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 		}
 
 		// y = c_B^T · B^{-1}
-		y := make([]float64, s.m)
-		for i := 0; i < s.m; i++ {
+		y := s.y
+		for k := range y {
+			y[k] = 0
+		}
+		for i := 0; i < m; i++ {
 			cb := cost[s.basis[i]]
 			if cb == 0 {
 				continue
 			}
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				y[k] += cb * row[k]
+			row := s.binv[i*m : i*m+m]
+			for k, rv := range row {
+				y[k] += cb * rv
 			}
 		}
 
-		useBland := s.degenerate >= blandThreshold
-		enter := -1
-		best := -s.tol
-		for j := 0; j < banFrom && j < s.n; j++ {
-			if s.isBasic[j] {
-				continue
-			}
-			d := cost[j] - dotSparse(y, s.cols[j])
-			if d < -s.tol {
-				if useBland {
-					enter = j
-					break
-				}
-				if d < best {
-					best = d
-					enter = j
-				}
-			}
-		}
+		enter := s.price(cost, banFrom, y)
 		if enter < 0 {
 			return nil // optimal for this cost vector
 		}
 
 		// Direction d = B^{-1} A_enter.
-		dir := make([]float64, s.m)
-		col := s.cols[enter]
-		for i := 0; i < s.m; i++ {
-			row := s.binv[i]
+		dir := s.dir
+		cs, ce := s.colPtr[enter], s.colPtr[enter+1]
+		for i := 0; i < m; i++ {
+			row := s.binv[i*m : i*m+m]
 			sum := 0.0
-			for k, r := range col.idx {
-				sum += row[r] * col.val[k]
+			for t := cs; t < ce; t++ {
+				sum += row[s.rowInd[t]] * s.vals[t]
 			}
 			dir[i] = sum
 		}
@@ -281,7 +471,7 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 		// it blocks at θ = 0 and leaves the basis instead.
 		leave := -1
 		theta := math.Inf(1)
-		for i := 0; i < s.m; i++ {
+		for i := 0; i < m; i++ {
 			bj := s.basis[i]
 			if dir[i] > s.tol {
 				r := s.xB[i] / dir[i]
@@ -311,7 +501,7 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 
 		// Update basic values and basis inverse.
 		piv := dir[leave]
-		for i := 0; i < s.m; i++ {
+		for i := 0; i < m; i++ {
 			if i != leave {
 				s.xB[i] -= theta * dir[i]
 				if s.xB[i] < 0 && s.xB[i] > -1e-9 {
@@ -321,12 +511,12 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 		}
 		s.xB[leave] = theta
 
-		rowL := s.binv[leave]
+		rowL := s.binv[leave*m : leave*m+m]
 		inv := 1 / piv
-		for k := 0; k < s.m; k++ {
+		for k := range rowL {
 			rowL[k] *= inv
 		}
-		for i := 0; i < s.m; i++ {
+		for i := 0; i < m; i++ {
 			if i == leave {
 				continue
 			}
@@ -334,9 +524,9 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 			if f == 0 {
 				continue
 			}
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				row[k] -= f * rowL[k]
+			row := s.binv[i*m : i*m+m]
+			for k, rv := range rowL {
+				row[k] -= f * rv
 			}
 		}
 
@@ -348,44 +538,145 @@ func (s *simplex) run(cost []float64, banFrom int, phase1 bool) error {
 	}
 }
 
+// price selects the entering column, or -1 at optimality.
+//
+// With PricingDantzig it scans every column and takes the most negative
+// reduced cost (ties to the lowest index — the original solver's exact
+// behavior). With PricingPartial it scans a rotating block of candidates
+// and takes the block's most negative reduced cost; blocks are scanned
+// in sequence (wrapping) until one yields a candidate, so a full pass is
+// always completed before optimality is declared. Under prolonged
+// degeneracy both degrade to Bland's rule (first eligible column by
+// index), which guarantees termination.
+func (s *simplex) price(cost []float64, banFrom int, y []float64) int {
+	limit := banFrom
+	if limit > s.n {
+		limit = s.n
+	}
+	if limit == 0 {
+		return -1
+	}
+	if s.degenerate >= blandThreshold {
+		for j := 0; j < limit; j++ {
+			if s.isBasic[j] {
+				continue
+			}
+			if cost[j]-s.reduceDot(j, y) < -s.tol {
+				return j
+			}
+		}
+		return -1
+	}
+	if s.pricing == PricingDantzig {
+		// One fused pass over the CSC arrays. The dot accumulates in row
+		// order exactly as the sparse columns are stored, so the computed
+		// reduced costs — and therefore the pivot sequence — are
+		// bit-identical to the straightforward per-column evaluation.
+		bestJ := -1
+		best := -s.tol
+		colPtr, rowInd, vals, isBasic := s.colPtr, s.rowInd, s.vals, s.isBasic
+		start := colPtr[0]
+		for j := 0; j < limit; j++ {
+			end := colPtr[j+1]
+			if isBasic[j] {
+				start = end
+				continue
+			}
+			sum := 0.0
+			for t := start; t < end; t++ {
+				sum += y[rowInd[t]] * vals[t]
+			}
+			start = end
+			if d := cost[j] - sum; d < best {
+				best = d
+				bestJ = j
+			}
+		}
+		return bestJ
+	}
+	block := limit / 8
+	if block < priceBlockMin {
+		block = priceBlockMin
+	}
+	j := s.priceStart
+	if j >= limit {
+		j = 0
+	}
+	scanned := 0
+	bestJ := -1
+	best := -s.tol
+	for scanned < limit {
+		blockEnd := scanned + block
+		if blockEnd > limit {
+			blockEnd = limit
+		}
+		for ; scanned < blockEnd; scanned++ {
+			if !s.isBasic[j] {
+				if d := cost[j] - s.reduceDot(j, y); d < best {
+					best = d
+					bestJ = j
+				}
+			}
+			j++
+			if j >= limit {
+				j = 0
+			}
+		}
+		if bestJ >= 0 {
+			s.priceStart = j
+			return bestJ
+		}
+	}
+	return -1
+}
+
+// reduceDot is y · A_j over column j's sparse entries.
+func (s *simplex) reduceDot(j int, y []float64) float64 {
+	sum := 0.0
+	for t := s.colPtr[j]; t < s.colPtr[j+1]; t++ {
+		sum += y[s.rowInd[t]] * s.vals[t]
+	}
+	return sum
+}
+
 // pivotOutArtificials removes zero-valued artificial variables from the
 // basis where possible by degenerate pivots on non-artificial columns.
 // Rows whose artificial cannot be pivoted out are linearly dependent; the
 // artificial stays basic at zero and the phase-2 ratio-test guard keeps it
 // there.
-func (s *simplex) pivotOutArtificials(firstArtificial int) {
-	for i := 0; i < s.m; i++ {
-		if s.basis[i] < firstArtificial {
+func (s *simplex) pivotOutArtificials() {
+	m := s.m
+	for i := 0; i < m; i++ {
+		if s.basis[i] < s.firstArtificial {
 			continue
 		}
-		row := s.binv[i]
-		for j := 0; j < firstArtificial; j++ {
+		row := s.binv[i*m : i*m+m]
+		for j := 0; j < s.firstArtificial; j++ {
 			if s.isBasic[j] {
 				continue
 			}
-			col := s.cols[j]
 			piv := 0.0
-			for k, r := range col.idx {
-				piv += row[r] * col.val[k]
+			for t := s.colPtr[j]; t < s.colPtr[j+1]; t++ {
+				piv += row[s.rowInd[t]] * s.vals[t]
 			}
 			if math.Abs(piv) <= 1e-7 {
 				continue
 			}
 			// Degenerate pivot: xB[i] is ~0, so values do not change.
-			dir := make([]float64, s.m)
-			for r2 := 0; r2 < s.m; r2++ {
-				rw := s.binv[r2]
+			dir := s.dir
+			for r2 := 0; r2 < m; r2++ {
+				rw := s.binv[r2*m : r2*m+m]
 				sum := 0.0
-				for k, r := range col.idx {
-					sum += rw[r] * col.val[k]
+				for t := s.colPtr[j]; t < s.colPtr[j+1]; t++ {
+					sum += rw[s.rowInd[t]] * s.vals[t]
 				}
 				dir[r2] = sum
 			}
 			inv := 1 / dir[i]
-			for k := 0; k < s.m; k++ {
+			for k := range row {
 				row[k] *= inv
 			}
-			for r2 := 0; r2 < s.m; r2++ {
+			for r2 := 0; r2 < m; r2++ {
 				if r2 == i {
 					continue
 				}
@@ -393,9 +684,9 @@ func (s *simplex) pivotOutArtificials(firstArtificial int) {
 				if f == 0 {
 					continue
 				}
-				rw := s.binv[r2]
-				for k := 0; k < s.m; k++ {
-					rw[k] -= f * row[k]
+				rw := s.binv[r2*m : r2*m+m]
+				for k, rv := range row {
+					rw[k] -= f * rv
 				}
 			}
 			s.isBasic[s.basis[i]] = false
@@ -411,56 +702,68 @@ func (s *simplex) pivotOutArtificials(firstArtificial int) {
 // elimination with partial pivoting and recomputes xB, discarding drift.
 func (s *simplex) refactorize() error {
 	m := s.m
-	// Assemble dense B augmented with I.
-	aug := make([][]float64, m)
+	// Assemble dense B augmented with I, rows flattened to width 2m.
+	w := 2 * m
+	if s.aug == nil {
+		s.aug = make([]float64, m*w)
+	}
+	aug := s.aug
 	for i := range aug {
-		aug[i] = make([]float64, 2*m)
-		aug[i][m+i] = 1
+		aug[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		aug[i*w+m+i] = 1
 	}
 	for colPos, j := range s.basis {
-		col := s.cols[j]
-		for k, r := range col.idx {
-			aug[r][colPos] = col.val[k]
+		for t := s.colPtr[j]; t < s.colPtr[j+1]; t++ {
+			aug[s.rowInd[t]*w+colPos] = s.vals[t]
 		}
 	}
 	for c := 0; c < m; c++ {
 		// Partial pivot.
 		p := c
 		for r := c + 1; r < m; r++ {
-			if math.Abs(aug[r][c]) > math.Abs(aug[p][c]) {
+			if math.Abs(aug[r*w+c]) > math.Abs(aug[p*w+c]) {
 				p = r
 			}
 		}
-		if math.Abs(aug[p][c]) < 1e-12 {
+		if math.Abs(aug[p*w+c]) < 1e-12 {
 			return fmt.Errorf("lp: singular basis during refactorization: %w", ErrIterationLimit)
 		}
-		aug[c], aug[p] = aug[p], aug[c]
-		inv := 1 / aug[c][c]
-		for k := c; k < 2*m; k++ {
-			aug[c][k] *= inv
+		if p != c {
+			rc, rp := aug[c*w:c*w+w], aug[p*w:p*w+w]
+			for k := range rc {
+				rc[k], rp[k] = rp[k], rc[k]
+			}
+		}
+		rc := aug[c*w : c*w+w]
+		inv := 1 / rc[c]
+		for k := c; k < w; k++ {
+			rc[k] *= inv
 		}
 		for r := 0; r < m; r++ {
 			if r == c {
 				continue
 			}
-			f := aug[r][c]
+			f := aug[r*w+c]
 			if f == 0 {
 				continue
 			}
-			for k := c; k < 2*m; k++ {
-				aug[r][k] -= f * aug[c][k]
+			rr := aug[r*w : r*w+w]
+			for k := c; k < w; k++ {
+				rr[k] -= f * rc[k]
 			}
 		}
 	}
 	for i := 0; i < m; i++ {
-		copy(s.binv[i], aug[i][m:])
+		copy(s.binv[i*m:i*m+m], aug[i*w+m:i*w+w])
 	}
 	// xB = B^{-1} b
 	for i := 0; i < m; i++ {
 		sum := 0.0
-		row := s.binv[i]
-		for k := 0; k < m; k++ {
-			sum += row[k] * s.b[k]
+		row := s.binv[i*m : i*m+m]
+		for k, rv := range row {
+			sum += rv * s.b[k]
 		}
 		if sum < 0 && sum > -1e-9 {
 			sum = 0
@@ -476,21 +779,4 @@ func (s *simplex) objective(cost []float64) float64 {
 		sum += cost[j] * s.xB[i]
 	}
 	return sum
-}
-
-func dotSparse(dense []float64, col sparseCol) float64 {
-	sum := 0.0
-	for k, r := range col.idx {
-		sum += dense[r] * col.val[k]
-	}
-	return sum
-}
-
-func identity(m int) [][]float64 {
-	out := make([][]float64, m)
-	for i := range out {
-		out[i] = make([]float64, m)
-		out[i][i] = 1
-	}
-	return out
 }

@@ -1,0 +1,57 @@
+// Package par holds the one concurrency primitive the library needs: a
+// bounded parallel index loop. Sweeps, placement anchor searches, and
+// experiment fan-outs all follow the same pattern — n independent units
+// of work whose results land in index-addressed slots, so the outcome
+// never depends on scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (workers <= 0 means GOMAXPROCS) and returns when all calls have
+// finished. With workers == 1 (or n == 1) it degenerates to a plain
+// loop on the calling goroutine. fn receives each index exactly once;
+// it must confine its writes to index-addressed slots (or synchronize
+// otherwise).
+//
+// Callers that are themselves inside a For worker should pass
+// workers = 1 to the nested loop: nesting two GOMAXPROCS-wide pools
+// multiplies the live goroutines (and their workspaces) to the product
+// of the two widths.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,32 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64} {
+			counts := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialWhenOneWorker(t *testing.T) {
+	// With one worker the calls must arrive in index order on the
+	// calling goroutine.
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("order %v not sequential", order)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/strategy"
 	"github.com/quorumnet/quorumnet/internal/topology"
@@ -23,6 +24,14 @@ type IterateConfig struct {
 	// Candidates / Clients as in Options.
 	Candidates []int
 	Clients    []int
+	// LP passes solver options through to both phases' LPs (the GAP
+	// pipeline of the many-to-one placement and the access-strategy LP).
+	// The zero value reproduces the original solver's pivot sequence;
+	// lp.PricingPartial trades that bit-reproducibility for speed.
+	LP lp.Options
+	// Workers bounds the embedded anchor search's worker pool
+	// (0 = GOMAXPROCS); pass 1 when running Iterate calls in parallel.
+	Workers int
 }
 
 // PhaseRecord captures the measures after each phase of one iteration,
@@ -80,6 +89,8 @@ func Iterate(topo *topology.Topology, sys quorum.System, cfg IterateConfig) (*It
 			Eps:          cfg.Eps,
 			Candidates:   cfg.Candidates,
 			Clients:      cfg.Clients,
+			LP:           cfg.LP,
+			Workers:      cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("placement: iteration %d phase 1: %w", j, err)
@@ -97,7 +108,14 @@ func Iterate(topo *topology.Topology, sys quorum.System, cfg IterateConfig) (*It
 		for w := range caps {
 			caps[w] += 1e-9
 		}
-		res, err := strategy.Optimize(e, caps)
+		// Each iteration produces a new placement, so the strategy-LP
+		// skeleton cannot be reused across iterations; the Optimizer still
+		// carries the configured solver options through.
+		opt, err := strategy.NewOptimizer(e, strategy.Config{LP: cfg.LP})
+		if err != nil {
+			return nil, fmt.Errorf("placement: iteration %d phase 2: %w", j, err)
+		}
+		res, err := opt.Optimize(caps)
 		if err != nil {
 			return nil, fmt.Errorf("placement: iteration %d phase 2: %w", j, err)
 		}

@@ -13,6 +13,8 @@ import (
 
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/gap"
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/par"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -29,6 +31,10 @@ type Options struct {
 	// Clients restricts the client set used for scoring; nil uses all
 	// nodes (the paper's model).
 	Clients []int
+	// Workers bounds the anchor-search worker pool (0 = GOMAXPROCS).
+	// Callers that already run placements in parallel should pass 1 to
+	// avoid multiplying pools.
+	Workers int
 }
 
 func (o Options) scoreBy() core.Strategy {
@@ -133,27 +139,52 @@ func OneToOne(topo *topology.Topology, sys quorum.System, opts Options) (core.Pl
 	}
 }
 
-// searchAnchors runs the single-client construction at every candidate
-// anchor and keeps the placement with the lowest average network delay.
+// searchAnchors builds and scores one candidate placement per anchor and
+// keeps the best. Anchors are independent, so they are evaluated on a
+// GOMAXPROCS-bounded worker pool; the results are merged in candidate
+// order afterwards, which makes the outcome identical to the serial scan
+// (ties keep the earliest candidate) regardless of scheduling.
 func searchAnchors(topo *topology.Topology, sys quorum.System, opts Options,
 	build func(v0 int) (core.Placement, error)) (core.Placement, error) {
+	candidates := opts.candidates(topo)
+	type anchorResult struct {
+		f        core.Placement
+		d        float64
+		err      error // scoring error: fatal
+		buildErr error // build error: anchor skipped
+	}
+	results := make([]anchorResult, len(candidates))
+	evalOne := func(i int) {
+		f, err := build(candidates[i])
+		if err != nil {
+			results[i].buildErr = err // e.g. not enough capacity around this anchor
+			return
+		}
+		d, err := score(topo, sys, f, opts)
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		results[i] = anchorResult{f: f, d: d}
+	}
+	par.For(len(candidates), opts.Workers, evalOne)
+
 	bestDelay := math.Inf(1)
 	var best core.Placement
 	found := false
 	var lastErr error
-	for _, v0 := range opts.candidates(topo) {
-		f, err := build(v0)
-		if err != nil {
-			lastErr = err // e.g. not enough capacity around this anchor
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return core.Placement{}, r.err
+		}
+		if r.buildErr != nil {
+			lastErr = r.buildErr
 			continue
 		}
-		d, err := score(topo, sys, f, opts)
-		if err != nil {
-			return core.Placement{}, err
-		}
-		if d < bestDelay {
-			bestDelay = d
-			best = f
+		if r.d < bestDelay {
+			bestDelay = r.d
+			best = r.f
 			found = true
 		}
 	}
@@ -197,6 +228,12 @@ type ManyToOneConfig struct {
 	// Candidates and Clients as in Options.
 	Candidates []int
 	Clients    []int
+	// LP passes solver options through to the GAP pipeline's LPs. The
+	// zero value reproduces the original solver's pivot sequence;
+	// lp.PricingPartial trades that bit-reproducibility for speed.
+	LP lp.Options
+	// Workers bounds the anchor-search worker pool, as in Options.
+	Workers int
 }
 
 // ManyToOne computes the almost-capacity-respecting many-to-one placement:
@@ -221,7 +258,7 @@ func ManyToOne(topo *topology.Topology, sys quorum.System, cfg ManyToOneConfig) 
 	if eps == 0 {
 		eps = 1
 	}
-	opts := Options{ScoreBy: cfg.ScoreBy, Candidates: cfg.Candidates, Clients: cfg.Clients}
+	opts := Options{ScoreBy: cfg.ScoreBy, Candidates: cfg.Candidates, Clients: cfg.Clients, Workers: cfg.Workers}
 
 	caps := topo.Capacities()
 	return searchAnchors(topo, sys, opts, func(v0 int) (core.Placement, error) {
@@ -234,7 +271,7 @@ func ManyToOne(topo *topology.Topology, sys quorum.System, cfg ManyToOneConfig) 
 			}
 		}
 		ins := &gap.Instance{Sizes: loads, Capacities: caps, Cost: cost}
-		a, err := gap.Solve(ins, eps)
+		a, err := gap.SolveWith(ins, eps, cfg.LP)
 		if err != nil {
 			return core.Placement{}, fmt.Errorf("placement: anchor %d: %w", v0, err)
 		}

@@ -3,6 +3,14 @@
 // client's distribution over quorums to minimize average network delay
 // subject to per-node capacity (load) constraints — plus the capacity
 // sweep (7.7) and the non-uniform capacity heuristic of §7 built on it.
+//
+// The capacity sweeps re-solve a sequence of LPs that differ only in the
+// capacity right-hand sides. An Optimizer builds the LP skeleton (delay
+// coefficients, per-quorum node loads, constraint rows) once per
+// evaluation and mutates only those right-hand sides between solves,
+// optionally warm-starting each solve from the previous optimal basis.
+// Sweeps additionally run independent capacity points on a bounded
+// worker pool, chunked so results do not depend on the worker count.
 package strategy
 
 import (
@@ -12,6 +20,7 @@ import (
 
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/par"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
 
@@ -25,27 +34,52 @@ type Result struct {
 	Iterations int
 }
 
-// Optimize solves LP (4.3)–(4.6) for the evaluation's placement: find
-// {p_v} minimizing average network delay such that the average load on
-// each node w stays within caps[w]. caps must have length Topo.Size();
-// nodes outside the placement's support never receive load, so their
-// capacities are ignored. Returns lp.ErrInfeasible (wrapped) when the
-// capacities cannot absorb one unit of demand per client.
-//
-// The load coefficients follow the evaluation's LoadMode: multiplicity
-// (the paper's definition) charges a node once per hosted element in the
-// accessed quorum; dedup charges it once per access.
-func Optimize(e *core.Eval, caps []float64) (*Result, error) {
+// Config tunes an Optimizer.
+type Config struct {
+	// LP passes solver options through (notably lp.Options.Pricing).
+	// The zero value — cold Dantzig pricing — reproduces the original
+	// solver's pivot sequence exactly.
+	LP lp.Options
+	// WarmStart re-starts each solve from the previous call's optimal
+	// basis (falling back to a cold solve when it no longer applies).
+	// Much faster across a capacity sweep; on degenerate problems it may
+	// settle on a different — equally optimal — vertex than a cold
+	// solve, so leave it off when bit-reproducibility matters.
+	WarmStart bool
+}
+
+// Optimizer solves the access-strategy LP repeatedly for one evaluation
+// under varying capacities. It builds the expensive invariants — the
+// per-client/per-quorum delay matrix δ_f(v, Q_i), the per-quorum node
+// loads, and the LP skeleton — once, and re-solves after mutating only
+// the capacity right-hand sides. An Optimizer is not safe for concurrent
+// use; sweeps give each worker its own.
+type Optimizer struct {
+	e   *core.Eval
+	cfg Config
+
+	m  int // quorums
+	nc int // clients
+
+	prob *lp.Problem
+	// capRows maps the capacity constraint rows to their nodes:
+	// capRows[r] is the node whose capacity row is row nc+r.
+	capRows []int
+
+	basis lp.Basis // last optimal basis (warm start), nil until first solve
+}
+
+// NewOptimizer validates the evaluation and builds the LP skeleton.
+func NewOptimizer(e *core.Eval, cfg Config) (*Optimizer, error) {
 	if !e.Sys.Enumerable() {
 		return nil, fmt.Errorf("strategy: %s is not enumerable; the LP needs explicit quorums", e.Sys.Name())
-	}
-	if len(caps) != e.Topo.Size() {
-		return nil, fmt.Errorf("strategy: %d capacities for %d nodes", len(caps), e.Topo.Size())
 	}
 	m := e.Sys.NumQuorums()
 	clients := e.Clients
 	nc := len(clients)
 	nVars := nc * m
+
+	o := &Optimizer{e: e, cfg: cfg, m: m, nc: nc}
 
 	// Precompute, per quorum: its support nodes and per-node load
 	// contribution (multiplicity or 0/1 dedup).
@@ -121,6 +155,8 @@ func Optimize(e *core.Eval, caps []float64) (*Result, error) {
 	}
 	// Capacity: Σ_v weight_v Σ_i p_vi·mult(i, w) ≤ |clients|·cap(w) for
 	// support nodes (both sides scaled by |clients| relative to (4.4)).
+	// The rhs is a positive placeholder here; Optimize sets the actual
+	// capacities before every solve.
 	support := e.F.Support()
 	for _, w := range support {
 		var idx []int
@@ -144,22 +180,52 @@ func Optimize(e *core.Eval, caps []float64) (*Result, error) {
 		if len(idx) == 0 {
 			continue
 		}
-		if err := prob.AddConstraint(idx, coef, lp.LE, float64(nc)*caps[w]); err != nil {
+		if err := prob.AddConstraint(idx, coef, lp.LE, 1); err != nil {
+			return nil, err
+		}
+		o.capRows = append(o.capRows, w)
+	}
+	o.prob = prob
+	return o, nil
+}
+
+// Optimize solves the access-strategy LP for the given per-node
+// capacities (length Topo.Size()), reusing the skeleton and — when
+// configured — the previous solve's basis. Returns lp.ErrInfeasible
+// (wrapped) when the capacities cannot absorb one unit of demand per
+// client.
+func (o *Optimizer) Optimize(caps []float64) (*Result, error) {
+	e := o.e
+	if len(caps) != e.Topo.Size() {
+		return nil, fmt.Errorf("strategy: %d capacities for %d nodes", len(caps), e.Topo.Size())
+	}
+	for r, w := range o.capRows {
+		if err := o.prob.SetRHS(o.nc+r, float64(o.nc)*caps[w]); err != nil {
 			return nil, err
 		}
 	}
-
-	sol, err := prob.Solve()
+	var sol *lp.Solution
+	var err error
+	if o.cfg.WarmStart && o.basis != nil {
+		sol, err = o.prob.SolveWarm(o.cfg.LP, o.basis)
+	} else {
+		sol, err = o.prob.SolveWith(o.cfg.LP)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("strategy: access LP (%d vars, %d rows): %w", nVars, prob.NumConstraints(), err)
+		return nil, fmt.Errorf("strategy: access LP (%d vars, %d rows): %w",
+			o.prob.NumVars(), o.prob.NumConstraints(), err)
+	}
+	if o.cfg.WarmStart {
+		o.basis = sol.Basis
 	}
 
+	m, nc := o.m, o.nc
 	probs := make([][]float64, nc)
 	for k := 0; k < nc; k++ {
 		probs[k] = make([]float64, m)
 		sum := 0.0
 		for i := 0; i < m; i++ {
-			p := sol.X[varOf(k, i)]
+			p := sol.X[k*m+i]
 			if p < 0 {
 				p = 0
 			}
@@ -184,6 +250,28 @@ func Optimize(e *core.Eval, caps []float64) (*Result, error) {
 		AvgNetDelay: sol.Objective / float64(nc),
 		Iterations:  sol.Iterations,
 	}, nil
+}
+
+// Optimize solves LP (4.3)–(4.6) for the evaluation's placement: find
+// {p_v} minimizing average network delay such that the average load on
+// each node w stays within caps[w]. caps must have length Topo.Size();
+// nodes outside the placement's support never receive load, so their
+// capacities are ignored. Returns lp.ErrInfeasible (wrapped) when the
+// capacities cannot absorb one unit of demand per client.
+//
+// The load coefficients follow the evaluation's LoadMode: multiplicity
+// (the paper's definition) charges a node once per hosted element in the
+// accessed quorum; dedup charges it once per access.
+//
+// Optimize solves cold with the default (Dantzig) pricing, bit-for-bit
+// reproducing the original solver; build an Optimizer directly for
+// warm-started or alternatively-priced solves.
+func Optimize(e *core.Eval, caps []float64) (*Result, error) {
+	o, err := NewOptimizer(e, Config{})
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(caps)
 }
 
 // SweepValues returns the paper's capacity grid (7.7):
@@ -216,22 +304,47 @@ type SweepPoint struct {
 	Infeasible bool
 }
 
+// SweepConfig tunes sweep execution. The zero value is the fast path:
+// warm-started partial-pricing solves on a GOMAXPROCS-bounded worker
+// pool.
+type SweepConfig struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS). Sweep points are
+	// processed in fixed-size chunks whose boundaries depend only on the
+	// number of points, so results are identical for every worker count.
+	Workers int
+	// Reproducible solves every point cold with Dantzig pricing,
+	// bit-for-bit reproducing the original serial sweep (useful when
+	// regenerating the paper's tables for comparison). The default warm
+	// path reaches the same optima, but on degenerate LPs it may return
+	// different optimal vertices, which can shift vertex-dependent
+	// measures (response time) within the optimal face.
+	Reproducible bool
+}
+
+// sweepChunkSize fixes the warm-start chain length. Chunk boundaries
+// must not depend on worker count, or results would change with
+// parallelism: each chunk always starts with a cold solve and
+// warm-starts the points after it.
+const sweepChunkSize = 4
+
 // UniformSweep runs Optimize for each uniform capacity value and
-// evaluates response time, reproducing the technique of Figure 7.6.
+// evaluates response time, reproducing the technique of Figure 7.6,
+// with the default SweepConfig.
 func UniformSweep(e *core.Eval, values []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(values))
-	for _, c := range values {
-		caps := make([]float64, e.Topo.Size())
+	return UniformSweepCfg(e, values, SweepConfig{})
+}
+
+// UniformSweepCfg is UniformSweep with explicit execution options.
+func UniformSweepCfg(e *core.Eval, values []float64, cfg SweepConfig) ([]SweepPoint, error) {
+	return runSweep(e, values, cfg, func(c float64, caps []float64) ([]float64, error) {
+		if caps == nil {
+			caps = make([]float64, e.Topo.Size())
+		}
 		for w := range caps {
 			caps[w] = c
 		}
-		pt, err := sweepPoint(e, c, caps)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return caps, nil
+	})
 }
 
 // NonUniformCaps implements the §7 heuristic: capacities inversely
@@ -277,37 +390,87 @@ func NonUniformCaps(e *core.Eval, beta, gamma float64) ([]float64, error) {
 
 // NonUniformSweep mirrors UniformSweep but sets capacities with the
 // non-uniform heuristic over intervals [β, γ] = [lopt, c] for each c,
-// reproducing Figures 7.7/7.8.
+// reproducing Figures 7.7/7.8, with the default SweepConfig.
 func NonUniformSweep(e *core.Eval, lopt float64, values []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(values))
-	for _, c := range values {
-		caps, err := NonUniformCaps(e, lopt, c)
+	return NonUniformSweepCfg(e, lopt, values, SweepConfig{})
+}
+
+// NonUniformSweepCfg is NonUniformSweep with explicit execution options.
+func NonUniformSweepCfg(e *core.Eval, lopt float64, values []float64, cfg SweepConfig) ([]SweepPoint, error) {
+	return runSweep(e, values, cfg, func(c float64, _ []float64) ([]float64, error) {
+		return NonUniformCaps(e, lopt, c)
+	})
+}
+
+// runSweep evaluates every capacity value on a bounded worker pool.
+// capsFor produces the capacity vector for one value; it may reuse the
+// scratch slice it is handed (which is nil on a chunk's first point).
+// Points are partitioned into fixed chunks processed in any order by the
+// workers; within a chunk one Optimizer carries warm-start state from
+// point to point, so the outcome depends only on the chunk partition —
+// never on scheduling — and parallel output is identical to serial.
+func runSweep(e *core.Eval, values []float64, cfg SweepConfig,
+	capsFor func(c float64, scratch []float64) ([]float64, error)) ([]SweepPoint, error) {
+	n := len(values)
+	out := make([]SweepPoint, n)
+	if n == 0 {
+		return out, nil
+	}
+	// Populate the evaluator's lazy caches before sharing it.
+	e.Prewarm()
+
+	nChunks := (n + sweepChunkSize - 1) / sweepChunkSize
+	errs := make([]error, nChunks)
+	par.For(nChunks, cfg.Workers, func(ci int) {
+		lo := ci * sweepChunkSize
+		hi := lo + sweepChunkSize
+		if hi > n {
+			hi = n
+		}
+		errs[ci] = sweepChunk(e, values[lo:hi], out[lo:hi], cfg, capsFor)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pt, err := sweepPoint(e, c, caps)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
 	}
 	return out, nil
 }
 
-func sweepPoint(e *core.Eval, c float64, caps []float64) (SweepPoint, error) {
-	res, err := Optimize(e, caps)
-	if err != nil {
-		if isInfeasible(err) {
-			return SweepPoint{Cap: c, Infeasible: true}, nil
-		}
-		return SweepPoint{}, err
+// sweepChunk solves one contiguous run of sweep points with a dedicated
+// Optimizer, chaining warm starts unless configured reproducible.
+func sweepChunk(e *core.Eval, values []float64, out []SweepPoint, cfg SweepConfig,
+	capsFor func(c float64, scratch []float64) ([]float64, error)) error {
+	ocfg := Config{LP: lp.Options{Pricing: lp.PricingPartial}, WarmStart: true}
+	if cfg.Reproducible {
+		ocfg = Config{}
 	}
-	return SweepPoint{
-		Cap:      c,
-		NetDelay: res.AvgNetDelay,
-		Response: e.AvgResponseTime(res.Strategy),
-		Result:   res,
-	}, nil
+	opt, err := NewOptimizer(e, ocfg)
+	if err != nil {
+		return err
+	}
+	var caps []float64
+	for i, c := range values {
+		caps, err = capsFor(c, caps)
+		if err != nil {
+			return err
+		}
+		res, err := opt.Optimize(caps)
+		if err != nil {
+			if isInfeasible(err) {
+				out[i] = SweepPoint{Cap: c, Infeasible: true}
+				continue
+			}
+			return err
+		}
+		out[i] = SweepPoint{
+			Cap:      c,
+			NetDelay: res.AvgNetDelay,
+			Response: e.AvgResponseTime(res.Strategy),
+			Result:   res,
+		}
+	}
+	return nil
 }
 
 // Best returns the feasible sweep point with the lowest response time, or

@@ -39,6 +39,7 @@ import (
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/experiments"
 	"github.com/quorumnet/quorumnet/internal/faults"
+	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/placement"
 	"github.com/quorumnet/quorumnet/internal/protocol"
 	"github.com/quorumnet/quorumnet/internal/quorum"
@@ -219,8 +220,46 @@ type OptimizeResult = strategy.Result
 // SweepPoint is one capacity setting's outcome in a sweep.
 type SweepPoint = strategy.SweepPoint
 
+// LPOptions tunes the built-in simplex solver. The zero value — cold
+// Dantzig pricing — is fully deterministic and reproduces the solver's
+// original pivot sequence; PricingPartial is markedly faster on the wide
+// LPs this library generates but may return a different (equally
+// optimal) vertex on degenerate instances. LPOptions threads through
+// PlacementOptions-style configs: ManyToOneConfig.LP, IterateConfig.LP,
+// and OptimizerConfig.LP.
+type LPOptions = lp.Options
+
+// Pricing rules for LPOptions.
+const (
+	PricingDantzig = lp.PricingDantzig
+	PricingPartial = lp.PricingPartial
+)
+
+// OptimizerConfig tunes a StrategyOptimizer: solver options and whether
+// successive solves warm-start from the previous optimal basis.
+type OptimizerConfig = strategy.Config
+
+// StrategyOptimizer re-solves the access-strategy LP for one evaluation
+// under varying capacities, building the LP skeleton once and mutating
+// only the capacity right-hand sides between solves — the workhorse
+// behind fast capacity sweeps. It is not safe for concurrent use.
+type StrategyOptimizer = strategy.Optimizer
+
+// NewStrategyOptimizer builds the reusable LP workspace for an
+// evaluation.
+func NewStrategyOptimizer(e *Eval, cfg OptimizerConfig) (*StrategyOptimizer, error) {
+	return strategy.NewOptimizer(e, cfg)
+}
+
+// SweepConfig tunes capacity-sweep execution: the worker-pool bound and
+// whether to trade the fast warm-started path for bit-reproducibility of
+// the original serial sweep. Results are always deterministic and
+// independent of the worker count.
+type SweepConfig = strategy.SweepConfig
+
 // OptimizeStrategies solves the access-strategy LP (4.3)–(4.6) under the
-// given per-site capacities.
+// given per-site capacities (cold, with deterministic Dantzig pricing;
+// use a StrategyOptimizer for repeated or warm-started solves).
 func OptimizeStrategies(e *Eval, caps []float64) (*OptimizeResult, error) {
 	return strategy.Optimize(e, caps)
 }
@@ -228,15 +267,29 @@ func OptimizeStrategies(e *Eval, caps []float64) (*OptimizeResult, error) {
 // SweepValues returns the capacity grid c_i = Lopt + i·(1−Lopt)/count.
 func SweepValues(lopt float64, count int) []float64 { return strategy.SweepValues(lopt, count) }
 
-// UniformCapacitySweep optimizes strategies at each uniform capacity value.
+// UniformCapacitySweep optimizes strategies at each uniform capacity
+// value on a bounded worker pool, warm-starting within chunks of
+// consecutive points.
 func UniformCapacitySweep(e *Eval, values []float64) ([]SweepPoint, error) {
 	return strategy.UniformSweep(e, values)
+}
+
+// UniformCapacitySweepCfg is UniformCapacitySweep with explicit
+// execution options.
+func UniformCapacitySweepCfg(e *Eval, values []float64, cfg SweepConfig) ([]SweepPoint, error) {
+	return strategy.UniformSweepCfg(e, values, cfg)
 }
 
 // NonUniformCapacitySweep uses the §7 heuristic (capacity inversely
 // proportional to client distance) over intervals [lopt, c].
 func NonUniformCapacitySweep(e *Eval, lopt float64, values []float64) ([]SweepPoint, error) {
 	return strategy.NonUniformSweep(e, lopt, values)
+}
+
+// NonUniformCapacitySweepCfg is NonUniformCapacitySweep with explicit
+// execution options.
+func NonUniformCapacitySweepCfg(e *Eval, lopt float64, values []float64, cfg SweepConfig) ([]SweepPoint, error) {
+	return strategy.NonUniformSweepCfg(e, lopt, values, cfg)
 }
 
 // NonUniformCaps computes the heuristic capacities for [beta, gamma].

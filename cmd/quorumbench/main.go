@@ -1,4 +1,5 @@
-// Command quorumbench regenerates the paper's figures as text tables.
+// Command quorumbench regenerates the paper's figures as text tables and
+// runs declarative scenarios through the scenario engine.
 //
 // Usage:
 //
@@ -9,6 +10,14 @@
 //	quorumbench -fig 3.1 -seed 7 -runs 3 -duration 10000
 //	quorumbench -fig 7.6 -cpuprofile fig76.prof
 //	quorumbench -all -reproducible
+//	quorumbench -scenario list
+//	quorumbench -scenario diurnal-demand
+//	quorumbench -scenario my-workload.json
+//
+// -scenario runs a workload scenario: "list" prints the built-in
+// library, a library name runs that scenario, and anything else is
+// loaded as a JSON spec file (see the quorumnet.Scenario type for the
+// schema).
 //
 // By default the LP-heavy figures run on the fast path (warm-started,
 // partially priced, parallel solves); -reproducible regenerates the
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"github.com/quorumnet/quorumnet/internal/experiments"
+	"github.com/quorumnet/quorumnet/internal/scenario"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
 
@@ -47,6 +57,7 @@ func run() int {
 		runs      = flag.Int("runs", 5, "protocol simulation runs per point")
 		duration  = flag.Float64("duration", 20000, "protocol simulation length (ms)")
 		repro     = flag.Bool("reproducible", false, "bit-reproduce the original serial harness's tables (slower)")
+		scen      = flag.String("scenario", "", "run a scenario: 'list', a built-in name, or a JSON spec file")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
 	)
@@ -81,6 +92,15 @@ func run() int {
 		QUDurationMS: *duration,
 		Quick:        *quick,
 		Reproducible: *repro,
+	}
+
+	if *scen != "" {
+		return runScenario(*scen, scenario.RunConfig{
+			Seed:         *seed,
+			Reproducible: *repro,
+			QURuns:       *runs,
+			QUDurationMS: *duration,
+		}, *markdown)
 	}
 
 	var todo []experiments.Experiment
@@ -121,6 +141,45 @@ func run() int {
 			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+	return 0
+}
+
+// runScenario resolves the -scenario argument: "list", a built-in
+// library name, or a JSON spec file path.
+func runScenario(arg string, cfg scenario.RunConfig, markdown bool) int {
+	if arg == "list" {
+		for _, s := range scenario.Library() {
+			fmt.Printf("%-18s %-9s %s\n", s.Name, s.Kind, s.Title)
+		}
+		return 0
+	}
+	spec, err := scenario.LibraryByName(arg)
+	if err != nil {
+		f, ferr := os.Open(arg)
+		if ferr != nil {
+			return fail(fmt.Errorf("%q is neither a built-in scenario nor a readable spec file: %w", arg, ferr))
+		}
+		defer f.Close()
+		spec, err = scenario.Load(f)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	start := time.Now()
+	tb, err := scenario.Run(spec, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if markdown {
+		if err := tb.FormatMarkdown(os.Stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if err := tb.Format(os.Stdout); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("(%s in %.1fs)\n", spec.Name, time.Since(start).Seconds())
 	return 0
 }
 

@@ -1,0 +1,110 @@
+// Replan: incremental re-planning with the staged Planner. A 5×5 Grid
+// deployment on PlanetLab-50 rides out a day of wide-area weather — RTT
+// drift on the transatlantic links, a demand spike, and a regional
+// outage — and after each delta the planner recomputes only the pipeline
+// stages the delta invalidated: demand changes re-run just the
+// evaluation, capacity changes re-solve the strategy LP warm-started
+// from the previous basis, and membership changes re-place the grid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	quorumnet "github.com/quorumnet/quorumnet"
+)
+
+func main() {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	p, err := quorumnet.NewPlanner(topo, quorumnet.PlannerConfig{
+		System:   quorumnet.SystemSpec{Family: "grid", Param: 5},
+		Strategy: quorumnet.StratLP,
+		Demand:   8000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("event                sites  response  netdelay  replan     recomputed stages")
+	report := func(label string) {
+		start := time.Now()
+		res, err := p.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stages := strings.Join(res.RecomputedNames(), ",")
+		if stages == "" {
+			stages = "(nothing)"
+		}
+		fmt.Printf("%-20s %5d  %7.2f  %8.2f  %8s  %s\n",
+			label, p.Size(), res.Response, res.NetDelay,
+			time.Since(start).Round(10*time.Microsecond), stages)
+	}
+
+	// Cold plan: every stage runs.
+	report("initial")
+
+	// RTT drift: congestion inflates every link touching Europe by 30%.
+	// The raw metric changes, so the topology re-closes and placement,
+	// strategy, and evaluation all re-run.
+	scaleRegion(p, "europe", 1.3)
+	report("rtt-drift eu x1.3")
+
+	// Demand spike: only the evaluation stage re-runs — the placement and
+	// the LP-optimized strategy are reused untouched.
+	if err := p.SetDemand(16000); err != nil {
+		log.Fatal(err)
+	}
+	report("demand-spike 16k")
+
+	// Capacity re-tune: the operator grants the sites more headroom. The
+	// LP skeleton is reused and the solve warm-starts from the previous
+	// optimal basis — a handful of pivots, not a cold solve.
+	if err := p.SetUniformCapacity(0.9); err != nil {
+		log.Fatal(err)
+	}
+	report("capacity 0.90")
+
+	// Regional outage: every European site goes dark. The planner
+	// re-places the grid on the surviving 35 sites.
+	for _, name := range sitesInRegion(p, "europe") {
+		if err := p.RemoveSite(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("eu-outage")
+
+	// Recovery of demand after failover traffic is shed elsewhere.
+	if err := p.SetDemand(8000); err != nil {
+		log.Fatal(err)
+	}
+	report("demand-normal 8k")
+}
+
+// scaleRegion multiplies the raw RTT of every link with at least one
+// endpoint in the region.
+func scaleRegion(p *quorumnet.Planner, region string, factor float64) {
+	n := p.Size()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if p.Site(u).Region != region && p.Site(v).Region != region {
+				continue
+			}
+			if err := p.SetRTT(u, v, p.RTT(u, v)*factor); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func sitesInRegion(p *quorumnet.Planner, region string) []string {
+	var names []string
+	for i := 0; i < p.Size(); i++ {
+		if p.Site(i).Region == region {
+			names = append(names, p.Site(i).Name)
+		}
+	}
+	return names
+}

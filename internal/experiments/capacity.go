@@ -1,28 +1,6 @@
 package experiments
 
-import (
-	"fmt"
-
-	"github.com/quorumnet/quorumnet/internal/core"
-	"github.com/quorumnet/quorumnet/internal/placement"
-	"github.com/quorumnet/quorumnet/internal/quorum"
-	"github.com/quorumnet/quorumnet/internal/strategy"
-	"github.com/quorumnet/quorumnet/internal/topology"
-)
-
-// capacityEval builds the k×k grid evaluation on PlanetLab-50 at demand
-// 16000 used throughout §7.
-func capacityEval(topo *topology.Topology, k int) (*core.Eval, error) {
-	sys, err := quorum.NewGrid(k)
-	if err != nil {
-		return nil, err
-	}
-	f, err := placement.GridOneToOne(topo, sys, placement.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("grid %dx%d placement: %w", k, k, err)
-	}
-	return core.NewEval(topo, sys, f, core.AlphaForDemand(16000))
-}
+import "github.com/quorumnet/quorumnet/internal/scenario"
 
 func sweepCount(p Params) int {
 	if p.Quick {
@@ -31,127 +9,80 @@ func sweepCount(p Params) int {
 	return 10
 }
 
-func capacityDims(topo *topology.Topology, quick bool) []int {
+// capacityAxis is the §7 universe axis: every Grid that fits PlanetLab-50
+// (k = 2..7), or the 3×3 alone on quick runs.
+func capacityAxis(quick bool) scenario.SystemAxis {
 	if quick {
-		return []int{3}
+		return scenario.SystemAxis{Family: "grid", Params: []int{3}}
 	}
-	return gridDims(topo, false) // k = 2..7 on PlanetLab-50
+	return scenario.SystemAxis{Family: "grid"}
 }
 
 // Fig76 regenerates Figure 7.6: response time and network delay as the
 // uniform node capacity c_i = Lopt + i·(1−Lopt)/10 varies, per universe
 // size, with LP-optimized access strategies.
 func Fig76(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:      "fig7.6",
-		Title:   "Grid on PlanetLab-50, demand 16000: LP strategies under uniform capacities",
-		Columns: []string{"universe", "capacity", "net_delay_ms", "response_ms"},
+	spec := scenario.Spec{
+		Name:  "fig7.6",
+		Title: "Grid on PlanetLab-50, demand 16000: LP strategies under uniform capacities",
+		Kind:  scenario.KindSweep,
 		Notes: []string{
 			"paper: higher capacity lets clients use closer quorums (lower network delay) but concentrates load, raising response time at high demand",
 		},
+		Topology: scenario.TopologySpec{Source: "planetlab50"},
+		Systems:  []scenario.SystemAxis{capacityAxis(p.Quick)},
+		Sweep:    &scenario.SweepSpec{Points: sweepCount(p), Demand: 16000},
+		Columns:  []string{"universe", "capacity", "net_delay_ms", "response_ms"},
 	}
-	for _, k := range capacityDims(topo, p.Quick) {
-		e, err := capacityEval(topo, k)
-		if err != nil {
-			return nil, err
-		}
-		values := strategy.SweepValues(e.Sys.OptimalLoad(), sweepCount(p))
-		pts, err := strategy.UniformSweepCfg(e, values, p.sweepConfig())
-		if err != nil {
-			return nil, err
-		}
-		for _, pt := range pts {
-			if pt.Infeasible {
-				tb.AddRow(itoa(k*k), f3(pt.Cap), "infeasible", "infeasible")
-				continue
-			}
-			tb.AddRow(itoa(k*k), f3(pt.Cap), f2(pt.NetDelay), f2(pt.Response))
-		}
-	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }
 
 // Fig77 regenerates Figure 7.7: the uniform sweep against the non-uniform
 // capacity heuristic with [β, γ] = [Lopt, c_i].
 func Fig77(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:    "fig7.7",
+	spec := scenario.Spec{
+		Name:  "fig7.7",
 		Title: "Grid on PlanetLab-50, demand 16000: uniform vs non-uniform capacities",
-		Columns: []string{"universe", "capacity",
-			"net_uniform", "resp_uniform", "net_nonuniform", "resp_nonuniform"},
+		Kind:  scenario.KindSweep,
 		Notes: []string{
 			"paper: the two match at small capacities (interval length ≈ 0) and non-uniform wins as capacities grow",
 		},
+		Topology: scenario.TopologySpec{Source: "planetlab50"},
+		Systems:  []scenario.SystemAxis{capacityAxis(p.Quick)},
+		Sweep: &scenario.SweepSpec{
+			Points:   sweepCount(p),
+			Demand:   16000,
+			Variants: []string{"uniform", "nonuniform"},
+		},
+		Columns: []string{"universe", "capacity",
+			"net_uniform", "resp_uniform", "net_nonuniform", "resp_nonuniform"},
 	}
-	for _, k := range capacityDims(topo, p.Quick) {
-		e, err := capacityEval(topo, k)
-		if err != nil {
-			return nil, err
-		}
-		lopt := e.Sys.OptimalLoad()
-		values := strategy.SweepValues(lopt, sweepCount(p))
-		uni, err := strategy.UniformSweepCfg(e, values, p.sweepConfig())
-		if err != nil {
-			return nil, err
-		}
-		non, err := strategy.NonUniformSweepCfg(e, lopt, values, p.sweepConfig())
-		if err != nil {
-			return nil, err
-		}
-		for i := range values {
-			cells := []string{itoa(k * k), f3(values[i])}
-			cells = append(cells, sweepCells(uni[i])...)
-			cells = append(cells, sweepCells(non[i])...)
-			tb.AddRow(cells...)
-		}
-	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }
 
 // Fig78 regenerates Figure 7.8: the k=7 (n=49) slice of the comparison.
 func Fig78(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:    "fig7.8",
-		Title: "7x7 Grid on PlanetLab-50, demand 16000: response vs capacity",
-		Columns: []string{"capacity",
-			"net_uniform", "resp_uniform", "net_nonuniform", "resp_nonuniform"},
-		Notes: []string{
-			"paper: response time grows with capacity for both, but more slowly for the non-uniform heuristic",
-		},
-	}
 	k := 7
 	if p.Quick {
 		k = 4
 	}
-	e, err := capacityEval(topo, k)
-	if err != nil {
-		return nil, err
+	spec := scenario.Spec{
+		Name:  "fig7.8",
+		Title: "7x7 Grid on PlanetLab-50, demand 16000: response vs capacity",
+		Kind:  scenario.KindSweep,
+		Notes: []string{
+			"paper: response time grows with capacity for both, but more slowly for the non-uniform heuristic",
+		},
+		Topology:   scenario.TopologySpec{Source: "planetlab50"},
+		Systems:    []scenario.SystemAxis{{Family: "grid", Params: []int{k}}},
+		RowColumns: []string{"capacity"},
+		Sweep: &scenario.SweepSpec{
+			Points:   sweepCount(p),
+			Demand:   16000,
+			Variants: []string{"uniform", "nonuniform"},
+		},
+		Columns: []string{"capacity",
+			"net_uniform", "resp_uniform", "net_nonuniform", "resp_nonuniform"},
 	}
-	lopt := e.Sys.OptimalLoad()
-	values := strategy.SweepValues(lopt, sweepCount(p))
-	uni, err := strategy.UniformSweepCfg(e, values, p.sweepConfig())
-	if err != nil {
-		return nil, err
-	}
-	non, err := strategy.NonUniformSweepCfg(e, lopt, values, p.sweepConfig())
-	if err != nil {
-		return nil, err
-	}
-	for i := range values {
-		cells := []string{f3(values[i])}
-		cells = append(cells, sweepCells(uni[i])...)
-		cells = append(cells, sweepCells(non[i])...)
-		tb.AddRow(cells...)
-	}
-	return tb, nil
-}
-
-func sweepCells(pt strategy.SweepPoint) []string {
-	if pt.Infeasible {
-		return []string{"infeasible", "infeasible"}
-	}
-	return []string{f2(pt.NetDelay), f2(pt.Response)}
+	return scenario.Run(&spec, p.runConfig())
 }

@@ -2,19 +2,20 @@
 // (there are no numbered tables): the Q/U protocol measurements of §3,
 // the low-demand placement comparison of §6, the high-demand strategy and
 // capacity studies of §7, and the iterative-algorithm study of §8.
-// Each runner returns a Table whose rows correspond to the points of the
-// original figure; cmd/quorumbench prints them and the benchmarks in the
-// repository root regenerate them under `go test -bench`.
+// Every figure is declared as a scenario spec — the runners in this
+// package only choose the axis values (full or Quick scale) and hand the
+// spec to the scenario engine, which expands and executes it; the
+// ablation studies keep bespoke runners. cmd/quorumbench prints the
+// tables and the benchmarks in the repository root regenerate them under
+// `go test -bench`.
 package experiments
 
 import (
 	"fmt"
-	"io"
 	"strconv"
-	"strings"
-	"text/tabwriter"
 
 	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/scenario"
 	"github.com/quorumnet/quorumnet/internal/strategy"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -85,79 +86,19 @@ func (p Params) quDuration() float64 {
 	return d
 }
 
-// Table is a figure regenerated as rows of formatted cells.
-type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	// Notes records the shape claims the paper makes about this figure,
-	// for comparison in EXPERIMENTS.md.
-	Notes []string
-}
+// Table is a figure regenerated as rows of formatted cells. It is the
+// scenario engine's table type; every figure runner produces one by
+// executing its spec.
+type Table = scenario.Table
 
-// AddRow appends a row of already-formatted cells.
-func (t *Table) AddRow(cells ...string) {
-	if len(cells) != len(t.Columns) {
-		panic(fmt.Sprintf("experiments: row has %d cells, table %s has %d columns",
-			len(cells), t.ID, len(t.Columns)))
+// runConfig translates experiment parameters into engine settings.
+func (p Params) runConfig() scenario.RunConfig {
+	return scenario.RunConfig{
+		Seed:         p.Seed,
+		Reproducible: p.Reproducible,
+		QURuns:       p.quRuns(),
+		QUDurationMS: p.quDuration(),
 	}
-	t.Rows = append(t.Rows, cells)
-}
-
-// Format writes the table as aligned text.
-func (t *Table) Format(w io.Writer) error {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
-	for _, row := range t.Rows {
-		fmt.Fprintln(tw, strings.Join(row, "\t"))
-	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
-	}
-	return nil
-}
-
-// FormatMarkdown writes the table as GitHub-flavored markdown.
-func (t *Table) FormatMarkdown(w io.Writer) error {
-	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
-	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
-	seps := make([]string, len(t.Columns))
-	for i := range seps {
-		seps[i] = "---"
-	}
-	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
-	for _, row := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
-	}
-	fmt.Fprintln(w)
-	for _, n := range t.Notes {
-		fmt.Fprintf(w, "- %s\n", n)
-	}
-	fmt.Fprintln(w)
-	return nil
-}
-
-// Cell returns the numeric value of a cell (tests and shape checks).
-func (t *Table) Cell(row, col int) (float64, error) {
-	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Columns) {
-		return 0, fmt.Errorf("experiments: cell (%d,%d) out of range", row, col)
-	}
-	return strconv.ParseFloat(t.Rows[row][col], 64)
-}
-
-// Col returns the index of a named column.
-func (t *Table) Col(name string) (int, error) {
-	for i, c := range t.Columns {
-		if c == name {
-			return i, nil
-		}
-	}
-	return 0, fmt.Errorf("experiments: table %s has no column %q", t.ID, name)
 }
 
 func f2(v float64) string  { return strconv.FormatFloat(v, 'f', 2, 64) }

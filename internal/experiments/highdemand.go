@@ -1,107 +1,59 @@
 package experiments
 
-import (
-	"fmt"
+import "github.com/quorumnet/quorumnet/internal/scenario"
 
-	"github.com/quorumnet/quorumnet/internal/core"
-	"github.com/quorumnet/quorumnet/internal/placement"
-	"github.com/quorumnet/quorumnet/internal/quorum"
-	"github.com/quorumnet/quorumnet/internal/topology"
-)
-
-// gridOnDaxlist places a k×k grid one-to-one on the daxlist topology and
-// returns evaluators for the requested alphas.
-func gridEvals(topo *topology.Topology, k int, alphas []float64) ([]*core.Eval, error) {
-	sys, err := quorum.NewGrid(k)
-	if err != nil {
-		return nil, err
-	}
-	f, err := placement.GridOneToOne(topo, sys, placement.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("grid %dx%d placement: %w", k, k, err)
-	}
-	out := make([]*core.Eval, len(alphas))
-	for i, a := range alphas {
-		e, err := core.NewEval(topo, sys, f, a)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = e
-	}
-	return out, nil
-}
-
-func gridDims(topo *topology.Topology, quick bool) []int {
-	var out []int
-	maxK := 2
-	for k := 2; k*k <= topo.Size()-1; k++ {
-		maxK = k
-	}
-	step := 1
+// gridAxis expands the k×k Grid over every k that fits the topology,
+// striding by 3 on quick runs.
+func gridAxis(quick bool) scenario.SystemAxis {
+	a := scenario.SystemAxis{Family: "grid"}
 	if quick {
-		step = 3
+		a.Step = 3
 	}
-	for k := 2; k <= maxK; k += step {
-		out = append(out, k)
-	}
-	return out
+	return a
 }
 
 // Fig64 regenerates Figure 6.4: Grid response times under the closest and
 // balanced strategies at client demands 1000 and 4000 on daxlist-161.
 func Fig64(p Params) (*Table, error) {
-	topo := topology.Daxlist161(p.Seed)
-	tb := &Table{
-		ID:    "fig6.4",
+	spec := scenario.Spec{
+		Name:  "fig6.4",
 		Title: "Grid response time (ms) on daxlist-161, closest vs balanced, demand 1000/4000",
-		Columns: []string{"universe",
-			"closest_d1000", "balanced_d1000", "closest_d4000", "balanced_d4000"},
+		Kind:  scenario.KindEval,
 		Notes: []string{
 			"paper: closest wins at demand 1000 (especially at large universes); balanced wins at 4000",
 			"paper: the demand-1000 lines cross repeatedly (gray zone between the strategies)",
 		},
+		Topology:   scenario.TopologySpec{Source: "daxlist161"},
+		Systems:    []scenario.SystemAxis{gridAxis(p.Quick)},
+		RowColumns: []string{"universe"},
+		Demands:    []float64{1000, 4000},
+		Strategies: []string{"closest", "balanced"},
+		Measures:   []string{"response"},
+		Columns: []string{"universe",
+			"closest_d1000", "balanced_d1000", "closest_d4000", "balanced_d4000"},
 	}
-	alphas := []float64{core.AlphaForDemand(1000), core.AlphaForDemand(4000)}
-	for _, k := range gridDims(topo, p.Quick) {
-		evals, err := gridEvals(topo, k, alphas)
-		if err != nil {
-			return nil, err
-		}
-		c1 := evals[0].AvgResponseTime(core.ClosestStrategy{})
-		b1 := evals[0].AvgResponseTime(core.BalancedStrategy{})
-		c4 := evals[1].AvgResponseTime(core.ClosestStrategy{})
-		b4 := evals[1].AvgResponseTime(core.BalancedStrategy{})
-		tb.AddRow(itoa(k*k), f2(c1), f2(b1), f2(c4), f2(b4))
-	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }
 
 // Fig65 regenerates Figure 6.5: network delay and response time for both
 // strategies at client demand 16000.
 func Fig65(p Params) (*Table, error) {
-	topo := topology.Daxlist161(p.Seed)
-	tb := &Table{
-		ID:    "fig6.5",
+	spec := scenario.Spec{
+		Name:  "fig6.5",
 		Title: "Grid delay components (ms) on daxlist-161 at demand 16000",
-		Columns: []string{"universe",
-			"net_closest", "resp_closest", "net_balanced", "resp_balanced"},
+		Kind:  scenario.KindEval,
 		Notes: []string{
 			"paper: balanced response time decreases with universe size (load spreads); closest does not",
 			"paper: network delay increases with universe size for both strategies",
 		},
+		Topology:   scenario.TopologySpec{Source: "daxlist161"},
+		Systems:    []scenario.SystemAxis{gridAxis(p.Quick)},
+		RowColumns: []string{"universe"},
+		Demands:    []float64{16000},
+		Strategies: []string{"closest", "balanced"},
+		Measures:   []string{"net", "response"},
+		Columns: []string{"universe",
+			"net_closest", "resp_closest", "net_balanced", "resp_balanced"},
 	}
-	alpha := core.AlphaForDemand(16000)
-	for _, k := range gridDims(topo, p.Quick) {
-		evals, err := gridEvals(topo, k, []float64{alpha})
-		if err != nil {
-			return nil, err
-		}
-		e := evals[0]
-		tb.AddRow(itoa(k*k),
-			f2(e.AvgNetworkDelay(core.ClosestStrategy{})),
-			f2(e.AvgResponseTime(core.ClosestStrategy{})),
-			f2(e.AvgNetworkDelay(core.BalancedStrategy{})),
-			f2(e.AvgResponseTime(core.BalancedStrategy{})))
-	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }

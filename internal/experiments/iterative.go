@@ -1,99 +1,35 @@
 package experiments
 
-import (
-	"github.com/quorumnet/quorumnet/internal/core"
-	"github.com/quorumnet/quorumnet/internal/par"
-	"github.com/quorumnet/quorumnet/internal/placement"
-	"github.com/quorumnet/quorumnet/internal/quorum"
-	"github.com/quorumnet/quorumnet/internal/strategy"
-	"github.com/quorumnet/quorumnet/internal/topology"
-)
+import "github.com/quorumnet/quorumnet/internal/scenario"
 
 // Fig89 regenerates Figure 8.9: network delay achieved by the iterative
 // algorithm (after its first and second iterations) on a 5×5 Grid as the
 // uniform node capacity varies, against the one-to-one placement
 // baseline.
 func Fig89(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
 	k := 5
+	var candidates []int
 	if p.Quick {
 		k = 3
+		// Limit anchors on quick runs to keep tests fast.
+		candidates = []int{0, 5, 10, 15}
 	}
-	sys, err := quorum.NewGrid(k)
-	if err != nil {
-		return nil, err
-	}
-
-	// One-to-one baseline (balanced access, matching the iterative
-	// algorithm's uniform starting strategy).
-	oto, err := placement.GridOneToOne(topo, sys, placement.Options{})
-	if err != nil {
-		return nil, err
-	}
-	eOto, err := core.NewEval(topo, sys, oto, 0)
-	if err != nil {
-		return nil, err
-	}
-	otoDelay := eOto.AvgNetworkDelay(core.BalancedStrategy{})
-
-	tb := &Table{
-		ID:      "fig8.9",
-		Title:   "Iterative algorithm network delay (ms), 5x5 Grid on PlanetLab-50",
-		Columns: []string{"capacity", "iter1_net_delay", "iter2_net_delay", "one_to_one"},
+	spec := scenario.Spec{
+		Name:  "fig8.9",
+		Title: "Iterative algorithm network delay (ms), 5x5 Grid on PlanetLab-50",
+		Kind:  scenario.KindIterate,
 		Notes: []string{
 			"paper: the big improvement lands after phase 1 of iteration 1; phase 2 adds 2–5 ms",
 			"paper: most runs terminate after the first iteration",
 			"paper: the iterative (many-to-one) delay beats one-to-one at every capacity",
 		},
-	}
-
-	values := strategy.SweepValues(sys.OptimalLoad(), sweepCount(p))
-	// Limit anchors on quick runs to keep tests fast.
-	var candidates []int
-	if p.Quick {
-		candidates = []int{0, 5, 10, 15}
-	}
-	// Each capacity value runs the full iterative algorithm independently
-	// (on its own topology clone), so the sweep fans out over a bounded
-	// worker pool; results land in value order regardless of scheduling.
-	type point struct {
-		iter1, iter2 float64
-		err          error
-	}
-	pts := make([]point, len(values))
-	runPoint := func(i int) {
-		c := values[i]
-		tp := topo.Clone()
-		if err := tp.SetUniformCapacity(c); err != nil {
-			pts[i].err = err
-			return
-		}
-		res, err := placement.Iterate(tp, sys, placement.IterateConfig{
-			Alpha:         0,
+		Topology: scenario.TopologySpec{Source: "planetlab50"},
+		Systems:  []scenario.SystemAxis{{Family: "grid", Params: []int{k}}},
+		Iterate: &scenario.IterateSpec{
+			Points:        sweepCount(p),
 			MaxIterations: 2,
 			Candidates:    candidates,
-			LP:            p.lpOptions(),
-			// The capacity points already saturate the worker pool;
-			// nesting the anchor search's pool on top would multiply
-			// live LP workspaces to GOMAXPROCS².
-			Workers: 1,
-		})
-		if err != nil {
-			pts[i].err = err
-			return
-		}
-		pts[i].iter1 = res.History[0].Phase2NetDelay
-		pts[i].iter2 = pts[i].iter1
-		if len(res.History) > 1 {
-			pts[i].iter2 = res.History[1].Phase2NetDelay
-		}
+		},
 	}
-	par.For(len(values), 0, runPoint)
-	for i, c := range values {
-		if pts[i].err != nil {
-			return nil, pts[i].err
-		}
-		tb.AddRow(f3(c), f2(pts[i].iter1), f2(pts[i].iter2), f2(otoDelay))
-	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }

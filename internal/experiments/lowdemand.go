@@ -1,59 +1,17 @@
 package experiments
 
-import (
-	"fmt"
+import "github.com/quorumnet/quorumnet/internal/scenario"
 
-	"github.com/quorumnet/quorumnet/internal/core"
-	"github.com/quorumnet/quorumnet/internal/placement"
-	"github.com/quorumnet/quorumnet/internal/quorum"
-	"github.com/quorumnet/quorumnet/internal/topology"
-)
-
-// family enumerates the quorum-system families of Figure 6.3 with their
-// universe sizes on a graph of |V| nodes.
-type family struct {
-	name string
-	mk   func(param int) (quorum.System, error)
-	// params yields the family parameter values whose universe fits.
-	params func(maxUniverse int) []int
-}
-
-func majorityFamily(name string, mk func(int) (quorum.Threshold, error), universeOf func(int) int) family {
-	return family{
-		name: name,
-		mk: func(t int) (quorum.System, error) {
-			s, err := mk(t)
-			return s, err
-		},
-		params: func(maxUniverse int) []int {
-			var out []int
-			for t := 1; universeOf(t) <= maxUniverse; t++ {
-				out = append(out, t)
-			}
-			return out
-		},
-	}
-}
-
-func allFamilies() []family {
-	return []family{
-		majorityFamily("majority(t+1,2t+1)", quorum.SimpleMajority, func(t int) int { return 2*t + 1 }),
-		majorityFamily("majority(2t+1,3t+1)", quorum.ByzantineMajority, func(t int) int { return 3*t + 1 }),
-		majorityFamily("majority(4t+1,5t+1)", quorum.QUMajority, func(t int) int { return 5*t + 1 }),
-		{
-			name: "grid",
-			mk: func(k int) (quorum.System, error) {
-				s, err := quorum.NewGrid(k)
-				return s, err
-			},
-			params: func(maxUniverse int) []int {
-				var out []int
-				for k := 2; k*k <= maxUniverse; k++ {
-					out = append(out, k)
-				}
-				return out
-			},
-		},
+// fig63Systems lists the §6 system families in figure order — the
+// singleton baseline first, then the three Majorities and the Grid, each
+// auto-expanded to every parameter whose universe fits.
+func fig63Systems(maxUniverse int) []scenario.SystemAxis {
+	return []scenario.SystemAxis{
+		{Family: "singleton"},
+		{Family: "majority", MaxUniverse: maxUniverse},
+		{Family: "bmajority", MaxUniverse: maxUniverse},
+		{Family: "qumajority", MaxUniverse: maxUniverse},
+		{Family: "grid", MaxUniverse: maxUniverse},
 	}
 }
 
@@ -62,51 +20,26 @@ func allFamilies() []family {
 // strategy, as the universe grows, for all four systems plus the
 // singleton baseline.
 func Fig63(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:      "fig6.3",
-		Title:   "Response time (ms) on PlanetLab-50, alpha=0, closest access strategy",
-		Columns: []string{"system", "param", "universe", "response_ms"},
+	maxUniverse := 0 // topology size − 1
+	if p.Quick {
+		maxUniverse = 16
+	}
+	spec := scenario.Spec{
+		Name:  "fig6.3",
+		Title: "Response time (ms) on PlanetLab-50, alpha=0, closest access strategy",
+		Kind:  scenario.KindEval,
 		Notes: []string{
 			"paper: singleton is flat and lowest; smaller-quorum systems win at fixed universe size",
 			"paper: grid < (t+1,2t+1) < (2t+1,3t+1) < (4t+1,5t+1) in most of the range",
 			"paper: larger majorities degrade gracefully then sharply (critical point)",
 		},
+		Topology:   scenario.TopologySpec{Source: "planetlab50"},
+		Systems:    fig63Systems(maxUniverse),
+		RowColumns: []string{"system", "param", "universe"},
+		Demands:    []float64{0},
+		Strategies: []string{"closest"},
+		Measures:   []string{"response"},
+		Columns:    []string{"system", "param", "universe", "response_ms"},
 	}
-	maxUniverse := topo.Size() - 1
-	if p.Quick {
-		maxUniverse = 16
-	}
-
-	// Singleton baseline.
-	single, err := placement.Singleton(topo, 1)
-	if err != nil {
-		return nil, err
-	}
-	eS, err := core.NewEval(topo, quorum.Singleton{}, single, 0)
-	if err != nil {
-		return nil, err
-	}
-	singleDelay := eS.AvgNetworkDelay(core.ClosestStrategy{})
-	tb.AddRow("singleton", "-", "1", f2(singleDelay))
-
-	for _, fam := range allFamilies() {
-		for _, param := range fam.params(maxUniverse) {
-			sys, err := fam.mk(param)
-			if err != nil {
-				return nil, err
-			}
-			f, err := placement.OneToOne(topo, sys, placement.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("fig6.3 %s param %d: %w", fam.name, param, err)
-			}
-			e, err := core.NewEval(topo, sys, f, 0)
-			if err != nil {
-				return nil, err
-			}
-			resp := e.AvgNetworkDelay(core.ClosestStrategy{})
-			tb.AddRow(fam.name, itoa(param), itoa(sys.UniverseSize()), f2(resp))
-		}
-	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }

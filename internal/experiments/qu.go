@@ -1,202 +1,101 @@
 package experiments
 
 import (
-	"fmt"
-	"math"
-	"sort"
-
 	"github.com/quorumnet/quorumnet/internal/core"
-	"github.com/quorumnet/quorumnet/internal/placement"
-	"github.com/quorumnet/quorumnet/internal/protocol"
-	"github.com/quorumnet/quorumnet/internal/quorum"
-	"github.com/quorumnet/quorumnet/internal/topology"
+	"github.com/quorumnet/quorumnet/internal/scenario"
 )
-
-// quSetup holds the per-t server placement and client sites of the §3
-// experiment.
-type quSetup struct {
-	sys         quorum.Threshold
-	serverSites []int
-	clientSites []int // the 10 representative locations
-}
-
-// quPlace reproduces §3's setup for fault threshold t: n = 5t+1 servers
-// placed one-to-one by the delay-minimizing algorithm (uniform access
-// scoring), and 10 client locations whose average network delay to the
-// placement approximates the all-nodes average.
-func quPlace(topo *topology.Topology, t int) (*quSetup, error) {
-	sys, err := quorum.QUMajority(t)
-	if err != nil {
-		return nil, err
-	}
-	f, err := placement.MajorityOneToOne(topo, sys, placement.Options{})
-	if err != nil {
-		return nil, err
-	}
-	e, err := core.NewEval(topo, sys, f, 0)
-	if err != nil {
-		return nil, err
-	}
-	clients, err := RepresentativeClients(e, 10)
-	if err != nil {
-		return nil, err
-	}
-	return &quSetup{sys: sys, serverSites: f.Targets(), clientSites: clients}, nil
-}
 
 // RepresentativeClients picks the k nodes whose expected network delay to
 // the placement (under uniform access) is closest to the all-nodes
-// average.
+// average — the §3 client-site selection, kept here for callers like
+// cmd/qusim.
 func RepresentativeClients(e *core.Eval, k int) ([]int, error) {
-	n := e.Topo.Size()
-	if k > n {
-		return nil, fmt.Errorf("experiments: want %d client sites from %d nodes", k, n)
-	}
-	delays := make([]float64, n)
-	sum := 0.0
-	for v := 0; v < n; v++ {
-		delays[v] = e.ClientResponseTime(core.BalancedStrategy{}, v)
-		sum += delays[v]
-	}
-	avg := sum / float64(n)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		da := math.Abs(delays[idx[a]] - avg)
-		db := math.Abs(delays[idx[b]] - avg)
-		if da != db {
-			return da < db
-		}
-		return idx[a] < idx[b]
-	})
-	out := append([]int(nil), idx[:k]...)
-	sort.Ints(out)
-	return out, nil
+	return scenario.RepresentativeClients(e, k)
 }
 
-// quRun executes the protocol with c clients per client site.
-func quRun(p Params, topo *topology.Topology, setup *quSetup, perSite int) (*protocol.Metrics, error) {
-	var clients []int
-	for _, site := range setup.clientSites {
-		for i := 0; i < perSite; i++ {
-			clients = append(clients, site)
-		}
+// quProtocol fixes the §3 simulation constants: 10 representative client
+// locations, 1 ms of application processing per request, and 0.8
+// ms/message of access-link serialization (≈ 1 KB Q/U messages on the
+// emulated 10 Mbit/s links, which puts per-site uplinks near saturation
+// around 100 clients — the knee Figure 3.2b shows past ~50 clients).
+func quProtocol(ts, perSite []int) *scenario.ProtocolSpec {
+	return &scenario.ProtocolSpec{
+		Ts:            ts,
+		PerSite:       perSite,
+		ClientSites:   10,
+		ServiceTimeMS: 1,
+		LinkTxMS:      0.8,
 	}
-	cfg := protocol.Config{
-		Topo:          topo,
-		ServerSites:   setup.serverSites,
-		QuorumSize:    setup.sys.QuorumSize(),
-		ClientSites:   clients,
-		ServiceTimeMS: 1, // §3: "application processing delay per client request ... was 1 ms"
-		// Emulated access links (ModelNet) serialize each site's message
-		// bursts; 0.8 ms/message ≈ 1 KB Q/U messages (payload +
-		// authenticators) on a 10 Mbit/s emulated access link, which puts
-		// the per-site uplink near saturation around 100 clients — the
-		// knee Figure 3.2b shows past ~50 clients.
-		LinkTxMS:   0.8,
-		DurationMS: p.quDuration(),
-		Seed:       p.Seed,
-	}
-	return protocol.RunSimAveraged(cfg, p.quRuns())
 }
 
 // Fig31 regenerates Figure 3.1: the response-time and network-delay
 // surface over (number of clients, universe size).
 func Fig31(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:      "fig3.1",
-		Title:   "Q/U avg response time & network delay (ms) vs clients and universe size",
-		Columns: []string{"t", "universe", "clients", "net_delay_ms", "response_ms"},
-		Notes: []string{
-			"paper: response time grows with client count (processing delay) and with universe size (network delay)",
-			"paper: network delay is flat in client count for fixed universe",
-		},
-	}
 	ts := []int{1, 2, 3, 4, 5}
 	perSites := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if p.Quick {
 		ts = []int{1, 3}
 		perSites = []int{1, 5}
 	}
-	for _, t := range ts {
-		setup, err := quPlace(topo, t)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range perSites {
-			m, err := quRun(p, topo, setup, c)
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow(itoa(t), itoa(setup.sys.UniverseSize()), itoa(10*c),
-				f2(m.AvgNetDelayMS), f2(m.AvgResponseMS))
-		}
+	spec := scenario.Spec{
+		Name:  "fig3.1",
+		Title: "Q/U avg response time & network delay (ms) vs clients and universe size",
+		Kind:  scenario.KindProtocol,
+		Notes: []string{
+			"paper: response time grows with client count (processing delay) and with universe size (network delay)",
+			"paper: network delay is flat in client count for fixed universe",
+		},
+		Topology:   scenario.TopologySpec{Source: "planetlab50"},
+		RowColumns: []string{"t", "universe", "clients"},
+		Protocol:   quProtocol(ts, perSites),
+		Columns:    []string{"t", "universe", "clients", "net_delay_ms", "response_ms"},
 	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }
 
 // Fig32a regenerates Figure 3.2a: components at 100 clients while t (and
 // hence the universe size n = 5t+1) grows.
 func Fig32a(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:      "fig3.2a",
-		Title:   "Q/U delay components at 100 clients vs faults tolerated",
-		Columns: []string{"t", "universe", "net_delay_ms", "response_ms"},
-		Notes: []string{
-			"paper: network delay increases with universe size (quorums spread apart)",
-			"paper: processing share shrinks slightly as more servers share the load",
-		},
-	}
 	ts := []int{1, 2, 3, 4, 5}
 	perSite := 10
 	if p.Quick {
 		ts = []int{1, 3}
 		perSite = 4
 	}
-	for _, t := range ts {
-		setup, err := quPlace(topo, t)
-		if err != nil {
-			return nil, err
-		}
-		m, err := quRun(p, topo, setup, perSite)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(itoa(t), itoa(setup.sys.UniverseSize()), f2(m.AvgNetDelayMS), f2(m.AvgResponseMS))
+	spec := scenario.Spec{
+		Name:  "fig3.2a",
+		Title: "Q/U delay components at 100 clients vs faults tolerated",
+		Kind:  scenario.KindProtocol,
+		Notes: []string{
+			"paper: network delay increases with universe size (quorums spread apart)",
+			"paper: processing share shrinks slightly as more servers share the load",
+		},
+		Topology:   scenario.TopologySpec{Source: "planetlab50"},
+		RowColumns: []string{"t", "universe"},
+		Protocol:   quProtocol(ts, []int{perSite}),
+		Columns:    []string{"t", "universe", "net_delay_ms", "response_ms"},
 	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }
 
 // Fig32b regenerates Figure 3.2b: components at t = 4 (n = 21) while the
 // client count grows.
 func Fig32b(p Params) (*Table, error) {
-	topo := topology.PlanetLab50(p.Seed)
-	tb := &Table{
-		ID:      "fig3.2b",
-		Title:   "Q/U delay components at t=4 (n=21) vs number of clients",
-		Columns: []string{"clients", "net_delay_ms", "response_ms"},
-		Notes: []string{
-			"paper: below ~50 clients network delay dominates; beyond that processing delay grows",
-		},
-	}
-	setup, err := quPlace(topo, 4)
-	if err != nil {
-		return nil, err
-	}
 	perSites := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
 	if p.Quick {
 		perSites = []int{1, 6}
 	}
-	for _, c := range perSites {
-		m, err := quRun(p, topo, setup, c)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(itoa(10*c), f2(m.AvgNetDelayMS), f2(m.AvgResponseMS))
+	spec := scenario.Spec{
+		Name:  "fig3.2b",
+		Title: "Q/U delay components at t=4 (n=21) vs number of clients",
+		Kind:  scenario.KindProtocol,
+		Notes: []string{
+			"paper: below ~50 clients network delay dominates; beyond that processing delay grows",
+		},
+		Topology:   scenario.TopologySpec{Source: "planetlab50"},
+		RowColumns: []string{"clients"},
+		Protocol:   quProtocol([]int{4}, perSites),
+		Columns:    []string{"clients", "net_delay_ms", "response_ms"},
 	}
-	return tb, nil
+	return scenario.Run(&spec, p.runConfig())
 }

@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// benchConfig is the §7 workhorse: a 5×5 Grid on PlanetLab-50 with
+// LP-optimized strategies at high demand.
+func benchConfig() Config {
+	return Config{
+		System:   SystemSpec{Family: "grid", Param: 5},
+		Strategy: StratLP,
+		Demand:   16000,
+	}
+}
+
+// BenchmarkColdPlan measures the full pipeline: topology closure, system
+// construction, the one-to-one anchor search, a cold strategy LP solve,
+// and evaluation.
+func BenchmarkColdPlan(b *testing.B) {
+	topo := topology.PlanetLab50(topology.DefaultSeed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := New(topo, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplanDemandDelta measures the incremental path after a
+// demand-only delta: only the evaluation stage re-runs (the acceptance
+// bar for the staged planner is ≥ 5× over BenchmarkColdPlan; in practice
+// the gap is orders of magnitude).
+func BenchmarkReplanDemandDelta(b *testing.B) {
+	topo := topology.PlanetLab50(topology.DefaultSeed)
+	p, err := New(topo, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Plan(); err != nil {
+		b.Fatal(err)
+	}
+	demands := []float64{4000, 16000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.SetDemand(demands[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplanCapacityDelta measures the warm-start path after a
+// capacity-only delta: the LP skeleton is reused, the capacity right-hand
+// sides are rewritten, and the solve warm-starts from the previous
+// optimal basis.
+func BenchmarkReplanCapacityDelta(b *testing.B) {
+	topo := topology.PlanetLab50(topology.DefaultSeed)
+	p, err := New(topo, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Plan(); err != nil {
+		b.Fatal(err)
+	}
+	caps := []float64{0.68, 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.SetUniformCapacity(caps[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestReplanDemandDeltaSpeedup pins the acceptance bar as a test: an
+// incremental re-plan after a demand-only delta must be at least 5×
+// faster than a cold end-to-end plan. The real ratio is ~1000×; 5× leaves
+// enormous headroom for noisy CI machines.
+func TestReplanDemandDeltaSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	topo := topology.PlanetLab50(topology.DefaultSeed)
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := New(topo, benchConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Plan(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	p, err := New(topo, benchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	demands := []float64{4000, 16000}
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := p.SetDemand(demands[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Plan(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	coldNs := float64(cold.NsPerOp())
+	warmNs := float64(warm.NsPerOp())
+	if warmNs <= 0 {
+		t.Fatalf("degenerate timing: warm %v ns/op", warmNs)
+	}
+	ratio := coldNs / warmNs
+	t.Logf("cold plan %.2fms, demand-delta re-plan %.4fms: %.0fx", coldNs/1e6, warmNs/1e6, ratio)
+	if ratio < 5 {
+		t.Fatalf("incremental demand-delta re-plan only %.1fx faster than cold plan, want >= 5x", ratio)
+	}
+}

@@ -1,0 +1,175 @@
+// Package plan turns the paper's one-shot pipeline — topology → quorum
+// system → placement → access strategy → evaluation — into a staged
+// planner with explicit artifacts and dirty-tracking. A Planner owns
+// mutable inputs (the raw RTT matrix, per-site capacities, client demand,
+// the system/placement/strategy configuration) and memoizes each stage's
+// output; deltas such as SetRTT, SetSiteCapacity, or SetDemand mark only
+// the stages they actually invalidate, so a re-plan after a demand-only
+// delta re-runs just the evaluation stage and a capacity-only delta
+// re-solves the access-strategy LP warm-started from the previous optimal
+// basis (a handful of pivots) instead of recomputing placement and
+// strategy from scratch.
+//
+// Invalidation rules (each stage also invalidates everything after it):
+//
+//	SetRTT, AddSite, RemoveSite → topology (matrix re-closed from raw)
+//	SetSystem                   → system
+//	SetSiteCapacity             → placement only if a site crosses the
+//	                              one-to-one eligibility threshold
+//	                              (always for many-to-one); otherwise
+//	                              strategy (warm, RHS-only re-solve)
+//	SetClientWeights            → strategy (LP skeleton rebuild)
+//	SetDemand                   → evaluation only
+//
+// The Planner keeps the *raw* distance matrix as the source of truth and
+// re-derives the metric closure in the topology stage, so any sequence of
+// deltas followed by Plan is equivalent to a cold plan of the final
+// inputs — a property the package's tests assert for random delta
+// sequences at every worker count.
+package plan
+
+import (
+	"fmt"
+
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+)
+
+// Stage identifies one pipeline stage.
+type Stage int
+
+// Pipeline stages in dependency order: dirtying a stage dirties every
+// later one.
+const (
+	StageTopology Stage = iota
+	StageSystem
+	StagePlacement
+	StageStrategy
+	StageEval
+	numStages
+)
+
+// String returns the stage's name as used in diagnostics and tables.
+func (s Stage) String() string {
+	switch s {
+	case StageTopology:
+		return "topology"
+	case StageSystem:
+		return "system"
+	case StagePlacement:
+		return "placement"
+	case StageStrategy:
+		return "strategy"
+	case StageEval:
+		return "eval"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Algorithm selects the placement construction the planner runs.
+type Algorithm string
+
+// Placement algorithms. The iterative algorithm of §4.2 is deliberately
+// not a planner stage: it fuses placement and strategy into one fixpoint
+// computation, so it has nothing to reuse across deltas; run it through
+// placement.Iterate (or a scenario of kind "iterate") instead.
+const (
+	AlgoOneToOne  Algorithm = "one-to-one"
+	AlgoSingleton Algorithm = "singleton"
+	AlgoManyToOne Algorithm = "many-to-one"
+)
+
+// StrategyKind selects the access-strategy stage.
+type StrategyKind string
+
+// Access strategies: the paper's closest and balanced strategies need no
+// optimization; "lp" solves the access-strategy LP (4.3)–(4.6) under the
+// planner's current capacities.
+const (
+	StratClosest  StrategyKind = "closest"
+	StratBalanced StrategyKind = "balanced"
+	StratLP       StrategyKind = "lp"
+)
+
+// SystemSpec names a quorum-system family and its parameter.
+type SystemSpec struct {
+	// Family is one of "majority" ((t+1, 2t+1)), "bmajority"
+	// ((2t+1, 3t+1)), "qumajority" ((4t+1, 5t+1)), "threshold" (explicit
+	// (Q, N)), "grid" (k×k), or "singleton".
+	Family string `json:"family"`
+	// Param is t for the majority families and k for grids; ignored for
+	// "threshold" and "singleton".
+	Param int `json:"param,omitempty"`
+	// Q, N parameterize the "threshold" family.
+	Q int `json:"q,omitempty"`
+	N int `json:"n,omitempty"`
+}
+
+// Build constructs the quorum system the spec names.
+func (s SystemSpec) Build() (quorum.System, error) {
+	switch s.Family {
+	case "majority":
+		return quorum.SimpleMajority(s.Param)
+	case "bmajority":
+		return quorum.ByzantineMajority(s.Param)
+	case "qumajority":
+		return quorum.QUMajority(s.Param)
+	case "threshold":
+		return quorum.NewThreshold(s.Q, s.N)
+	case "grid":
+		return quorum.NewGrid(s.Param)
+	case "singleton":
+		return quorum.Singleton{}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown system family %q", s.Family)
+	}
+}
+
+// Config fixes the planner's pipeline shape. The zero value is not
+// usable; System and (implicitly) Algorithm/Strategy must name valid
+// choices.
+type Config struct {
+	// System names the quorum-system family and parameter.
+	System SystemSpec `json:"system"`
+	// Algorithm selects the placement construction (default one-to-one).
+	Algorithm Algorithm `json:"algorithm,omitempty"`
+	// Strategy selects the access-strategy stage (default closest; "lp"
+	// requires an enumerable system).
+	Strategy StrategyKind `json:"strategy,omitempty"`
+	// Demand is the per-client demand in requests; the evaluation's alpha
+	// is OpServiceTimeMS × Demand (§7). Zero evaluates pure network delay.
+	Demand float64 `json:"demand,omitempty"`
+	// Reproducible forces cold, Dantzig-priced LP solves so repeated plans
+	// are bit-identical to a cold pipeline; the default re-solves the
+	// strategy LP warm-started with partial pricing (same optima, possibly
+	// a different optimal vertex on degenerate instances).
+	Reproducible bool `json:"reproducible,omitempty"`
+	// Workers bounds the placement anchor search's worker pool
+	// (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Candidates restricts placement anchor nodes (nil tries every site).
+	Candidates []int `json:"candidates,omitempty"`
+}
+
+func (c Config) algorithm() Algorithm {
+	if c.Algorithm == "" {
+		return AlgoOneToOne
+	}
+	return c.Algorithm
+}
+
+func (c Config) strategy() StrategyKind {
+	if c.Strategy == "" {
+		return StratClosest
+	}
+	return c.Strategy
+}
+
+// lpOptions translates the reproducibility setting into solver options.
+func (c Config) lpOptions() lp.Options {
+	if c.Reproducible {
+		return lp.Options{}
+	}
+	return lp.Options{Pricing: lp.PricingPartial}
+}

@@ -1,0 +1,546 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/graph"
+	"github.com/quorumnet/quorumnet/internal/placement"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/strategy"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// Planner owns the staged pipeline. It is not safe for concurrent use;
+// a Planner is one logical deployment being re-tuned over time.
+type Planner struct {
+	cfg Config
+
+	// Mutable inputs. raw is the pre-closure RTT matrix — the source of
+	// truth the topology stage closes into a metric, so edits compose the
+	// same way whether applied incrementally or all at once.
+	name    string
+	sites   []topology.Site
+	raw     *graph.Matrix
+	caps    []float64
+	alpha   float64
+	weights []float64 // nil = uniform client demand
+
+	dirty [numStages]bool
+
+	// Stage artifacts.
+	topo  *topology.Topology
+	sys   quorum.System
+	f     core.Placement
+	eval  *core.Eval
+	opt   *strategy.Optimizer
+	optOK bool // LP skeleton matches (topology, system, placement, weights)
+	lpRes *strategy.Result
+	strat core.Strategy
+}
+
+// Result is the output of one Plan call: the stage artifacts and the
+// evaluation measures. Topology and System are live views owned by the
+// planner; treat them as read-only.
+type Result struct {
+	Topology  *topology.Topology
+	System    quorum.System
+	Placement core.Placement
+	Strategy  core.Strategy
+	// LP carries the access-strategy LP solution when Config.Strategy is
+	// "lp" (nil otherwise).
+	LP *strategy.Result
+	// Alpha is the load-to-delay factor the measures below used.
+	Alpha float64
+	// Response is avg_v Δ_f(v) with Alpha; NetDelay the same with α = 0;
+	// MaxLoad the largest per-node load under the strategy.
+	Response float64
+	NetDelay float64
+	MaxLoad  float64
+	// Recomputed lists the stages this Plan call actually re-ran, in
+	// pipeline order — empty when nothing was dirty.
+	Recomputed []Stage
+}
+
+// RecomputedNames returns the recomputed stage names (for tables/logs).
+func (r *Result) RecomputedNames() []string {
+	out := make([]string, len(r.Recomputed))
+	for i, s := range r.Recomputed {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// New builds a planner over a starting topology. The topology is deep-
+// copied (distances, sites, capacities), so later mutations of either side
+// are independent.
+func New(topo *topology.Topology, cfg Config) (*Planner, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("plan: nil topology")
+	}
+	switch cfg.algorithm() {
+	case AlgoOneToOne, AlgoSingleton, AlgoManyToOne:
+	default:
+		return nil, fmt.Errorf("plan: unknown placement algorithm %q", cfg.Algorithm)
+	}
+	switch cfg.strategy() {
+	case StratClosest, StratBalanced, StratLP:
+	default:
+		return nil, fmt.Errorf("plan: unknown strategy kind %q", cfg.Strategy)
+	}
+	if cfg.Demand < 0 || math.IsNaN(cfg.Demand) || math.IsInf(cfg.Demand, 0) {
+		return nil, fmt.Errorf("plan: invalid demand %v", cfg.Demand)
+	}
+	sys, err := cfg.System.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.strategy() == StratLP && !sys.Enumerable() {
+		return nil, fmt.Errorf("plan: strategy %q needs an enumerable system, got %s", StratLP, sys.Name())
+	}
+	sites := make([]topology.Site, topo.Size())
+	for i := range sites {
+		sites[i] = topo.Site(i)
+	}
+	p := &Planner{
+		cfg:   cfg,
+		name:  topo.Name(),
+		sites: sites,
+		raw:   topo.Distances().Clone(),
+		caps:  topo.Capacities(),
+		alpha: core.AlphaForDemand(cfg.Demand),
+	}
+	for s := Stage(0); s < numStages; s++ {
+		p.dirty[s] = true
+	}
+	return p, nil
+}
+
+// Size returns the current number of sites.
+func (p *Planner) Size() int { return len(p.sites) }
+
+// Site returns site i's metadata.
+func (p *Planner) Site(i int) topology.Site { return p.sites[i] }
+
+// SiteIndex returns the index of the named site, or -1.
+func (p *Planner) SiteIndex(name string) int {
+	for i, s := range p.sites {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RTT returns the current raw (pre-closure) round-trip time between two
+// sites. The planned topology's metric may be lower where the closure
+// found a shorter path.
+func (p *Planner) RTT(u, v int) float64 { return p.raw.At(u, v) }
+
+// Capacity returns site v's capacity.
+func (p *Planner) Capacity(v int) float64 { return p.caps[v] }
+
+// Demand returns the current per-client demand.
+func (p *Planner) Demand() float64 { return p.alpha / core.OpServiceTimeMS }
+
+// SetRTT updates the raw round-trip time between two sites (both
+// directions). The topology stage re-closes the metric on the next Plan,
+// so other pairs may ride through the edited link if that is shorter.
+func (p *Planner) SetRTT(u, v int, ms float64) error {
+	if err := p.checkSite(u); err != nil {
+		return err
+	}
+	if err := p.checkSite(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("plan: cannot set self-RTT of site %d", u)
+	}
+	if ms <= 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		return fmt.Errorf("plan: invalid RTT %v for sites (%d,%d)", ms, u, v)
+	}
+	if p.raw.At(u, v) == ms {
+		return nil
+	}
+	p.raw.Set(u, v, ms)
+	p.invalidateTopology()
+	return nil
+}
+
+// SetSiteCapacity updates one site's capacity. When the change cannot
+// affect the placement (one-to-one constructions only consult the
+// eligibility predicate cap ≥ per-element load; singleton ignores
+// capacities), only the strategy and evaluation stages are invalidated,
+// and the strategy LP re-solves with just the capacity right-hand sides
+// changed — warm-started unless the planner is reproducible.
+func (p *Planner) SetSiteCapacity(v int, c float64) error {
+	if err := p.checkSite(v); err != nil {
+		return err
+	}
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return fmt.Errorf("plan: invalid capacity %v for site %d", c, v)
+	}
+	old := p.caps[v]
+	if old == c {
+		return nil
+	}
+	p.caps[v] = c
+	if p.capacityAffectsPlacement(old, c) {
+		p.invalidatePlacement()
+	} else {
+		p.invalidateStrategy(true)
+	}
+	return nil
+}
+
+// SetUniformCapacity sets every site's capacity to c.
+func (p *Planner) SetUniformCapacity(c float64) error {
+	for v := range p.caps {
+		if err := p.SetSiteCapacity(v, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// capacityAffectsPlacement reports whether a capacity change old→new at
+// one site can alter the placement stage's output.
+func (p *Planner) capacityAffectsPlacement(old, new float64) bool {
+	switch p.cfg.algorithm() {
+	case AlgoSingleton:
+		// The median ignores capacities.
+		return false
+	case AlgoOneToOne:
+		// One-to-one constructions use capacities only through the
+		// eligibility predicate cap(w) ≥ per-element load (with the ball
+		// search's tolerance); if the site stays on the same side, the
+		// candidate balls — and hence the placement — are unchanged.
+		if p.dirty[StageSystem] || p.sys == nil {
+			return true // no trusted system to derive the threshold from
+		}
+		minCap := p.sys.UniformElementLoad() - 1e-12
+		return (old >= minCap) != (new >= minCap)
+	default:
+		// Many-to-one feeds capacities into the GAP LP directly.
+		return true
+	}
+}
+
+// SetDemand updates the per-client demand; the evaluation's alpha becomes
+// OpServiceTimeMS × demand. Only the evaluation stage is invalidated: the
+// access-strategy LP minimizes network delay under capacity constraints
+// and does not depend on alpha.
+func (p *Planner) SetDemand(demand float64) error {
+	if demand < 0 || math.IsNaN(demand) || math.IsInf(demand, 0) {
+		return fmt.Errorf("plan: invalid demand %v", demand)
+	}
+	alpha := core.AlphaForDemand(demand)
+	if alpha == p.alpha {
+		return nil
+	}
+	p.alpha = alpha
+	p.invalidateEval()
+	return nil
+}
+
+// SetClientWeights assigns relative demand weights to the sites (every
+// site is a client, in index order). Weights scale both the response-time
+// averages and the strategy LP's objective and load coefficients, so the
+// LP skeleton is rebuilt. Pass nil to restore uniform demand.
+func (p *Planner) SetClientWeights(weights []float64) error {
+	if weights != nil {
+		if len(weights) != len(p.sites) {
+			return fmt.Errorf("plan: %d weights for %d sites", len(weights), len(p.sites))
+		}
+		for i, w := range weights {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("plan: invalid weight %v for site %d", w, i)
+			}
+		}
+		weights = append([]float64(nil), weights...)
+	}
+	p.weights = weights
+	// Weights enter the LP coefficients, not just the RHS: drop the
+	// skeleton.
+	p.invalidateStrategy(false)
+	return nil
+}
+
+// SetSystem swaps the quorum-system family or parameter, invalidating
+// everything from the system stage down.
+func (p *Planner) SetSystem(spec SystemSpec) error {
+	sys, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	if p.cfg.strategy() == StratLP && !sys.Enumerable() {
+		return fmt.Errorf("plan: strategy %q needs an enumerable system, got %s", StratLP, sys.Name())
+	}
+	p.cfg.System = spec
+	p.invalidateSystem()
+	return nil
+}
+
+// AddSite appends a site with raw RTTs to every existing site (in index
+// order) and the given capacity. Client weights reset to uniform.
+func (p *Planner) AddSite(site topology.Site, rtts []float64, capacity float64) error {
+	if p.cfg.Candidates != nil {
+		return fmt.Errorf("plan: cannot change site membership with a fixed candidate list")
+	}
+	if site.Name == "" {
+		return fmt.Errorf("plan: site needs a name")
+	}
+	if p.SiteIndex(site.Name) >= 0 {
+		return fmt.Errorf("plan: duplicate site name %q", site.Name)
+	}
+	n := len(p.sites)
+	if len(rtts) != n {
+		return fmt.Errorf("plan: %d RTTs for %d existing sites", len(rtts), n)
+	}
+	for i, d := range rtts {
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("plan: invalid RTT %v to site %d", d, i)
+		}
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("plan: invalid capacity %v", capacity)
+	}
+	raw := graph.NewMatrix(n + 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			raw.Set(i, j, p.raw.At(i, j))
+		}
+		raw.Set(i, n, rtts[i])
+	}
+	p.raw = raw
+	p.sites = append(p.sites, site)
+	p.caps = append(p.caps, capacity)
+	p.weights = nil
+	p.invalidateTopology()
+	return nil
+}
+
+// RemoveSite drops the named site — modeling decommissioning or a site
+// lost to an outage the planner must re-plan around. At least two sites
+// must remain.
+func (p *Planner) RemoveSite(name string) error {
+	if p.cfg.Candidates != nil {
+		return fmt.Errorf("plan: cannot change site membership with a fixed candidate list")
+	}
+	v := p.SiteIndex(name)
+	if v < 0 {
+		return fmt.Errorf("plan: no site named %q", name)
+	}
+	n := len(p.sites)
+	if n <= 2 {
+		return fmt.Errorf("plan: cannot remove %q: only %d sites left", name, n)
+	}
+	raw := graph.NewMatrix(n - 1)
+	for i, oi := 0, 0; oi < n; oi++ {
+		if oi == v {
+			continue
+		}
+		for j, oj := 0, 0; oj < n; oj++ {
+			if oj == v {
+				continue
+			}
+			if j > i {
+				raw.Set(i, j, p.raw.At(oi, oj))
+			}
+			j++
+		}
+		i++
+	}
+	p.raw = raw
+	p.sites = append(p.sites[:v:v], p.sites[v+1:]...)
+	p.caps = append(p.caps[:v:v], p.caps[v+1:]...)
+	p.weights = nil
+	p.invalidateTopology()
+	return nil
+}
+
+// Dirty reports whether the stage would be recomputed by the next Plan.
+func (p *Planner) Dirty(s Stage) bool { return p.dirty[s] }
+
+func (p *Planner) checkSite(v int) error {
+	if v < 0 || v >= len(p.sites) {
+		return fmt.Errorf("plan: site %d out of range [0,%d)", v, len(p.sites))
+	}
+	return nil
+}
+
+func (p *Planner) invalidateTopology() {
+	p.dirty[StageTopology] = true
+	p.invalidatePlacement()
+}
+
+func (p *Planner) invalidateSystem() {
+	p.dirty[StageSystem] = true
+	p.invalidatePlacement()
+}
+
+func (p *Planner) invalidatePlacement() {
+	p.dirty[StagePlacement] = true
+	p.optOK = false
+	p.invalidateStrategy(true)
+}
+
+// invalidateStrategy marks the strategy stage dirty; keepSkeleton retains
+// the LP workspace for an RHS-only warm re-solve.
+func (p *Planner) invalidateStrategy(keepSkeleton bool) {
+	p.dirty[StageStrategy] = true
+	if !keepSkeleton {
+		p.optOK = false
+	}
+	p.invalidateEval()
+}
+
+func (p *Planner) invalidateEval() { p.dirty[StageEval] = true }
+
+// Plan brings every stage up to date, recomputing only what the deltas
+// since the previous Plan invalidated, and returns the refreshed
+// artifacts and measures.
+func (p *Planner) Plan() (*Result, error) {
+	var recomputed []Stage
+
+	if p.dirty[StageTopology] {
+		closed := p.raw.Clone()
+		closed.MetricClosure()
+		topo, err := topology.New(p.name, p.sites, closed)
+		if err != nil {
+			return nil, fmt.Errorf("plan: topology stage: %w", err)
+		}
+		p.topo = topo
+		recomputed = append(recomputed, StageTopology)
+	}
+	// Capacities live on the topology artifact; sync them cheaply every
+	// Plan so the placement and strategy stages read current values.
+	for v, c := range p.caps {
+		if err := p.topo.SetCapacity(v, c); err != nil {
+			return nil, fmt.Errorf("plan: site %q: %w", p.sites[v].Name, err)
+		}
+	}
+
+	if p.dirty[StageSystem] {
+		sys, err := p.cfg.System.Build()
+		if err != nil {
+			return nil, fmt.Errorf("plan: system stage: %w", err)
+		}
+		p.sys = sys
+		recomputed = append(recomputed, StageSystem)
+	}
+
+	if p.dirty[StagePlacement] {
+		f, err := p.computePlacement()
+		if err != nil {
+			return nil, fmt.Errorf("plan: placement stage: %w", err)
+		}
+		p.f = f
+		eval, err := core.NewEval(p.topo, p.sys, p.f, p.alpha)
+		if err != nil {
+			return nil, fmt.Errorf("plan: placement stage: %w", err)
+		}
+		p.eval = eval
+		recomputed = append(recomputed, StagePlacement)
+	}
+	// Client weights live on the evaluator; sync them every Plan (they
+	// may have changed without the placement stage re-running). Explicit
+	// uniform weights normalize to exactly the nil-weight default.
+	weights := p.weights
+	if weights == nil {
+		weights = make([]float64, len(p.sites))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if err := p.eval.SetClientWeights(weights); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+
+	if p.dirty[StageStrategy] {
+		if err := p.computeStrategy(); err != nil {
+			return nil, fmt.Errorf("plan: strategy stage: %w", err)
+		}
+		recomputed = append(recomputed, StageStrategy)
+	}
+
+	if p.dirty[StageEval] {
+		recomputed = append(recomputed, StageEval)
+	}
+	// The measures are cheap relative to the stages above; recompute them
+	// whenever anything was dirty so Result is always self-consistent.
+	p.eval.Alpha = p.alpha
+	res := &Result{
+		Topology:   p.topo,
+		System:     p.sys,
+		Placement:  p.f,
+		Strategy:   p.strat,
+		LP:         p.lpRes,
+		Alpha:      p.alpha,
+		Response:   p.eval.AvgResponseTime(p.strat),
+		NetDelay:   p.eval.AvgNetworkDelay(p.strat),
+		MaxLoad:    p.eval.MaxNodeLoad(p.strat),
+		Recomputed: recomputed,
+	}
+	for s := Stage(0); s < numStages; s++ {
+		p.dirty[s] = false
+	}
+	return res, nil
+}
+
+// Eval exposes the internal evaluator for read-only composition (e.g.
+// fault injection via the faults package). It is only valid after a Plan
+// call and is invalidated by the next delta.
+func (p *Planner) Eval() *core.Eval { return p.eval }
+
+func (p *Planner) computePlacement() (core.Placement, error) {
+	opts := placement.Options{Workers: p.cfg.Workers, Candidates: p.cfg.Candidates}
+	switch p.cfg.algorithm() {
+	case AlgoSingleton:
+		return placement.Singleton(p.topo, p.sys.UniverseSize())
+	case AlgoOneToOne:
+		return placement.OneToOne(p.topo, p.sys, opts)
+	case AlgoManyToOne:
+		return placement.ManyToOne(p.topo, p.sys, placement.ManyToOneConfig{
+			Candidates: p.cfg.Candidates,
+			LP:         p.cfg.lpOptions(),
+			Workers:    p.cfg.Workers,
+		})
+	default:
+		return core.Placement{}, fmt.Errorf("unknown algorithm %q", p.cfg.Algorithm)
+	}
+}
+
+func (p *Planner) computeStrategy() error {
+	switch p.cfg.strategy() {
+	case StratClosest:
+		p.strat, p.lpRes = core.ClosestStrategy{}, nil
+		return nil
+	case StratBalanced:
+		p.strat, p.lpRes = core.BalancedStrategy{}, nil
+		return nil
+	}
+	// LP: rebuild the skeleton only when the topology, system, placement,
+	// or client weights changed; capacity-only deltas reuse it and
+	// re-solve with new right-hand sides, warm-started from the previous
+	// optimal basis unless reproducibility is requested.
+	if !p.optOK {
+		opt, err := strategy.NewOptimizer(p.eval, strategy.Config{
+			LP:        p.cfg.lpOptions(),
+			WarmStart: !p.cfg.Reproducible,
+		})
+		if err != nil {
+			return err
+		}
+		p.opt = opt
+		p.optOK = true
+	}
+	res, err := p.opt.Optimize(p.caps)
+	if err != nil {
+		return err
+	}
+	p.lpRes = res
+	p.strat = res.Strategy
+	return nil
+}

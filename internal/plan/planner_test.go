@@ -1,0 +1,341 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// smallTopo builds a compact three-region WAN so the property tests stay
+// fast even under the race detector.
+func smallTopo(t testing.TB) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenConfig{
+		Name:      "plan-test-18",
+		Inflation: 1.4,
+		Regions: []topology.RegionSpec{
+			{Name: "west", Count: 6, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+			{Name: "east", Count: 6, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+			{Name: "eu", Count: 6, LatMin: 44, LatMax: 55, LonMin: -2, LonMax: 15, AccessMin: 1, AccessMax: 4},
+		},
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func mustPlan(t *testing.T, p *Planner) *Result {
+	t.Helper()
+	res, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func stageNames(res *Result) string { return fmt.Sprint(res.RecomputedNames()) }
+
+// tryPlan plans, tolerating LP infeasibility (a legitimate outcome of a
+// random capacity sequence) and failing the test on any other error.
+func tryPlan(t *testing.T, p *Planner) (*Result, error) {
+	t.Helper()
+	res, err := p.Plan()
+	if err != nil && !errors.Is(err, lp.ErrInfeasible) {
+		t.Fatal(err)
+	}
+	return res, err
+}
+
+// TestDirtyTracking pins the invalidation rules: each delta recomputes
+// exactly the stages its documentation promises.
+func TestDirtyTracking(t *testing.T) {
+	topo := smallTopo(t)
+	p, err := New(topo, Config{
+		System:       SystemSpec{Family: "grid", Param: 3},
+		Strategy:     StratLP,
+		Demand:       4000,
+		Reproducible: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustPlan(t, p)
+	if got, want := stageNames(res), "[topology system placement strategy eval]"; got != want {
+		t.Fatalf("first plan recomputed %v, want %v", got, want)
+	}
+
+	res = mustPlan(t, p)
+	if len(res.Recomputed) != 0 {
+		t.Fatalf("no-delta plan recomputed %v, want nothing", stageNames(res))
+	}
+
+	if err := p.SetDemand(16000); err != nil {
+		t.Fatal(err)
+	}
+	res = mustPlan(t, p)
+	if got, want := stageNames(res), "[eval]"; got != want {
+		t.Fatalf("demand delta recomputed %v, want %v", got, want)
+	}
+
+	// A capacity tweak that stays on the eligible side of the one-to-one
+	// threshold re-solves the LP but keeps the placement.
+	if err := p.SetSiteCapacity(0, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	res = mustPlan(t, p)
+	if got, want := stageNames(res), "[strategy eval]"; got != want {
+		t.Fatalf("capacity delta recomputed %v, want %v", got, want)
+	}
+
+	// Dropping a site below the per-element load crosses the eligibility
+	// threshold, so the placement must be reconsidered.
+	minCap := res.System.UniformElementLoad()
+	if err := p.SetSiteCapacity(0, minCap/2); err != nil {
+		t.Fatal(err)
+	}
+	res = mustPlan(t, p)
+	if got, want := stageNames(res), "[placement strategy eval]"; got != want {
+		t.Fatalf("threshold-crossing capacity delta recomputed %v, want %v", got, want)
+	}
+
+	if err := p.SetRTT(0, 1, 250); err != nil {
+		t.Fatal(err)
+	}
+	res = mustPlan(t, p)
+	if got, want := stageNames(res), "[topology placement strategy eval]"; got != want {
+		t.Fatalf("RTT delta recomputed %v, want %v", got, want)
+	}
+
+	if err := p.SetSystem(SystemSpec{Family: "grid", Param: 4}); err != nil {
+		t.Fatal(err)
+	}
+	res = mustPlan(t, p)
+	if got, want := stageNames(res), "[system placement strategy eval]"; got != want {
+		t.Fatalf("system delta recomputed %v, want %v", got, want)
+	}
+}
+
+// applyRandomDelta mutates the planner with one random delta, returning a
+// description for failure messages. The generator only produces valid
+// deltas, so every call must succeed.
+func applyRandomDelta(t *testing.T, rng *rand.Rand, p *Planner, churn bool) string {
+	t.Helper()
+	n := p.Size()
+	for {
+		switch op := rng.Intn(7); op {
+		case 0, 1: // RTT edit
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			ms := 5 + rng.Float64()*295
+			if err := p.SetRTT(u, v, ms); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("SetRTT(%d,%d,%.2f)", u, v, ms)
+		case 2, 3: // capacity edit (kept above typical optimal loads so the
+			// strategy LP stays feasible throughout the sequence)
+			v := rng.Intn(n)
+			c := 0.6 + rng.Float64()*0.4
+			if err := p.SetSiteCapacity(v, c); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("SetSiteCapacity(%d,%.3f)", v, c)
+		case 4: // demand edit
+			d := float64(rng.Intn(5)) * 4000
+			if err := p.SetDemand(d); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("SetDemand(%.0f)", d)
+		case 5: // add a site
+			if !churn {
+				continue
+			}
+			name := fmt.Sprintf("new-%d", rng.Int63())
+			rtts := make([]float64, n)
+			for i := range rtts {
+				rtts[i] = 10 + rng.Float64()*200
+			}
+			site := topology.Site{Name: name, Region: "new", Lat: 10, Lon: 10}
+			if err := p.AddSite(site, rtts, 1); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("AddSite(%s)", name)
+		default: // remove a site
+			if !churn || n <= 14 {
+				continue
+			}
+			name := p.Site(rng.Intn(n)).Name
+			if err := p.RemoveSite(name); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("RemoveSite(%s)", name)
+		}
+	}
+}
+
+// TestReplanEquivalence is the package's core property: any sequence of
+// deltas with Plan() interleaved after each one ends in exactly the state
+// a cold plan of the final inputs produces — for every placement
+// algorithm, strategy kind, and worker count.
+func TestReplanEquivalence(t *testing.T) {
+	topo := smallTopo(t)
+	cases := []struct {
+		name  string
+		cfg   Config
+		churn bool
+	}{
+		{name: "one-to-one/lp", cfg: Config{System: SystemSpec{Family: "grid", Param: 3}, Strategy: StratLP, Demand: 16000, Reproducible: true}, churn: true},
+		{name: "one-to-one/closest", cfg: Config{System: SystemSpec{Family: "majority", Param: 3}, Strategy: StratClosest, Demand: 4000, Reproducible: true}, churn: true},
+		{name: "many-to-one/lp", cfg: Config{System: SystemSpec{Family: "grid", Param: 3}, Algorithm: AlgoManyToOne, Strategy: StratLP, Demand: 16000, Reproducible: true}, churn: false},
+		{name: "singleton/balanced", cfg: Config{System: SystemSpec{Family: "singleton"}, Algorithm: AlgoSingleton, Strategy: StratBalanced, Reproducible: true}, churn: true},
+	}
+	workerCounts := []int{1, 2, 3, 8}
+	const deltas = 8
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range workerCounts {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				rng := rand.New(rand.NewSource(int64(workers) * 977))
+
+				inc, err := New(topo, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := New(topo, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := inc.Plan(); err != nil {
+					t.Fatal(err)
+				}
+
+				var trace []string
+				rngCold := rand.New(rand.NewSource(int64(workers) * 977))
+				var incRes *Result
+				var incErr error
+				for i := 0; i < deltas; i++ {
+					trace = append(trace, applyRandomDelta(t, rng, inc, tc.churn))
+					applyRandomDelta(t, rngCold, cold, tc.churn)
+					incRes, incErr = tryPlan(t, inc)
+				}
+				coldRes, coldErr := tryPlan(t, cold)
+
+				ctx := fmt.Sprintf("workers=%d trace=%v", workers, trace)
+				if (incErr == nil) != (coldErr == nil) {
+					t.Fatalf("%s: incremental err %v, cold err %v", ctx, incErr, coldErr)
+				}
+				if incErr != nil {
+					continue // both infeasible at the final inputs: equivalent
+				}
+				if got, want := incRes.Placement.Targets(), coldRes.Placement.Targets(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: incremental placement %v != cold %v", ctx, got, want)
+				}
+				if incRes.Response != coldRes.Response {
+					t.Fatalf("%s: response %v != cold %v", ctx, incRes.Response, coldRes.Response)
+				}
+				if incRes.NetDelay != coldRes.NetDelay {
+					t.Fatalf("%s: net delay %v != cold %v", ctx, incRes.NetDelay, coldRes.NetDelay)
+				}
+				if incRes.MaxLoad != coldRes.MaxLoad {
+					t.Fatalf("%s: max load %v != cold %v", ctx, incRes.MaxLoad, coldRes.MaxLoad)
+				}
+				if (incRes.LP == nil) != (coldRes.LP == nil) {
+					t.Fatalf("%s: LP presence mismatch", ctx)
+				}
+				if incRes.LP != nil && !reflect.DeepEqual(incRes.LP.Strategy.Probs, coldRes.LP.Strategy.Probs) {
+					t.Fatalf("%s: LP strategies differ", ctx)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmReplanMatchesColdObjective checks the fast path: warm-started
+// capacity re-solves reach the same LP optimum a cold reproducible solve
+// finds (the vertex may differ on degenerate instances, the objective may
+// not).
+func TestWarmReplanMatchesColdObjective(t *testing.T) {
+	topo := smallTopo(t)
+	mk := func(repro bool) *Planner {
+		p, err := New(topo, Config{
+			System:       SystemSpec{Family: "grid", Param: 3},
+			Strategy:     StratLP,
+			Demand:       16000,
+			Reproducible: repro,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	warm, cold := mk(false), mk(true)
+	if _, err := warm.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	lopt := 5.0 / 9 // grid(3x3) optimal load (2k-1)/k²
+	for i := 0; i < 6; i++ {
+		c := lopt + float64(i+1)*(1-lopt)/7
+		for _, p := range []*Planner{warm, cold} {
+			if err := p.SetUniformCapacity(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := mustPlan(t, warm)
+		cd := mustPlan(t, cold)
+		if w.LP == nil || cd.LP == nil {
+			t.Fatalf("cap %.3f: missing LP result", c)
+		}
+		if diff := math.Abs(w.LP.AvgNetDelay - cd.LP.AvgNetDelay); diff > 1e-6*(1+math.Abs(cd.LP.AvgNetDelay)) {
+			t.Fatalf("cap %.3f: warm objective %v vs cold %v (diff %v)", c, w.LP.AvgNetDelay, cd.LP.AvgNetDelay, diff)
+		}
+	}
+}
+
+// TestPlannerValidation exercises input checking on the delta surface.
+func TestPlannerValidation(t *testing.T) {
+	topo := smallTopo(t)
+	if _, err := New(topo, Config{System: SystemSpec{Family: "nope"}}); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := New(topo, Config{System: SystemSpec{Family: "majority", Param: 30}, Strategy: StratLP}); err == nil {
+		t.Error("LP over the non-enumerable majority(31,61) was accepted")
+	}
+	p, err := New(topo, Config{System: SystemSpec{Family: "grid", Param: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []error{
+		p.SetRTT(0, 0, 10),
+		p.SetRTT(0, 1, -1),
+		p.SetRTT(0, 99, 10),
+		p.SetSiteCapacity(0, 0),
+		p.SetSiteCapacity(0, math.NaN()),
+		p.SetDemand(-1),
+		p.SetClientWeights([]float64{1}),
+		p.AddSite(topology.Site{}, nil, 1),
+		p.RemoveSite("no-such-site"),
+	}
+	for i, err := range bad {
+		if err == nil {
+			t.Errorf("invalid delta %d accepted", i)
+		}
+	}
+	if res, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	} else if len(res.Recomputed) != 5 {
+		t.Fatalf("first plan recomputed %v", res.RecomputedNames())
+	}
+}

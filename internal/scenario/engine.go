@@ -1,0 +1,871 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/faults"
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/par"
+	"github.com/quorumnet/quorumnet/internal/placement"
+	"github.com/quorumnet/quorumnet/internal/plan"
+	"github.com/quorumnet/quorumnet/internal/protocol"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/strategy"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// RunConfig carries execution-level settings a spec does not fix: the
+// seed, reproducibility, and protocol-simulation scale.
+type RunConfig struct {
+	// Seed drives topology synthesis and protocol randomness, passed
+	// through verbatim (seed 0 is a real seed, as it was for the
+	// pre-engine figure runners; TopologySpec.Seed overrides it per
+	// scenario, where 0 means "inherit this seed").
+	Seed int64
+	// Reproducible forces cold, Dantzig-priced, serial-equivalent LP
+	// solves, bit-for-bit reproducing the original harness's tables.
+	Reproducible bool
+	// QURuns averages this many simulation runs per protocol point
+	// (0 = 5).
+	QURuns int
+	// QUDurationMS is the simulated length of each protocol run
+	// (0 = 20000).
+	QUDurationMS float64
+}
+
+func (c RunConfig) quRuns() int {
+	if c.QURuns <= 0 {
+		return 5
+	}
+	return c.QURuns
+}
+
+func (c RunConfig) quDuration() float64 {
+	if c.QUDurationMS <= 0 {
+		return 20000
+	}
+	return c.QUDurationMS
+}
+
+func (c RunConfig) lpOptions() lp.Options {
+	if c.Reproducible {
+		return lp.Options{}
+	}
+	return lp.Options{Pricing: lp.PricingPartial}
+}
+
+func (c RunConfig) sweepConfig(workers int) strategy.SweepConfig {
+	return strategy.SweepConfig{Reproducible: c.Reproducible, Workers: workers}
+}
+
+// Run validates the spec, expands its axes into plan points, executes
+// them, and assembles the result table.
+func Run(spec *Spec, cfg RunConfig) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := buildTopology(spec.Topology, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	tb := &Table{ID: spec.Name, Title: spec.Title, Notes: spec.Notes}
+	switch spec.Kind {
+	case KindEval:
+		err = runEval(spec, cfg, topo, tb)
+	case KindSweep:
+		err = runSweep(spec, cfg, topo, tb)
+	case KindIterate:
+		err = runIterate(spec, cfg, topo, tb)
+	case KindProtocol:
+		err = runProtocol(spec, cfg, topo, tb)
+	case KindTimeline:
+		err = runTimeline(spec, cfg, topo, tb)
+	default:
+		err = fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	if len(spec.Columns) > 0 {
+		if len(spec.Columns) != len(tb.Columns) {
+			return nil, fmt.Errorf("scenario %q: %d explicit columns for %d derived (%v)",
+				spec.Name, len(spec.Columns), len(tb.Columns), tb.Columns)
+		}
+		tb.Columns = spec.Columns
+	}
+	return tb, nil
+}
+
+func buildTopology(ts TopologySpec, cfg RunConfig) (*topology.Topology, error) {
+	seed := ts.Seed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	switch ts.Source {
+	case "planetlab50":
+		return topology.PlanetLab50(seed), nil
+	case "daxlist161":
+		return topology.Daxlist161(seed), nil
+	case "synth":
+		return topology.Generate(*ts.Synth, seed)
+	case "file":
+		f, err := os.Open(ts.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.Load(f)
+	default:
+		return nil, fmt.Errorf("unknown topology source %q", ts.Source)
+	}
+}
+
+// systemPoint is one expanded entry of the system axes.
+type systemPoint struct {
+	axis SystemAxis
+	spec plan.SystemSpec
+}
+
+func expandSystems(axes []SystemAxis, topoSize int) []systemPoint {
+	var out []systemPoint
+	for _, a := range axes {
+		for _, s := range a.expand(topoSize) {
+			out = append(out, systemPoint{axis: a, spec: s})
+		}
+	}
+	return out
+}
+
+// poolWidth resolves a Workers setting to the effective pool width.
+func poolWidth(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// buildPlacement runs the spec's placement algorithm.
+func buildPlacement(spec *Spec, cfg RunConfig, topo *topology.Topology, sys quorum.System, workers int) (core.Placement, error) {
+	switch spec.Placement.algorithm() {
+	case plan.AlgoSingleton:
+		return placement.Singleton(topo, sys.UniverseSize())
+	case plan.AlgoManyToOne:
+		return placement.ManyToOne(topo, sys, placement.ManyToOneConfig{
+			LP:      cfg.lpOptions(),
+			Workers: workers,
+		})
+	default:
+		return placement.OneToOne(topo, sys, placement.Options{Workers: workers})
+	}
+}
+
+// measureName maps a measure to its default column label.
+func measureName(m string) string {
+	switch m {
+	case "response":
+		return "response_ms"
+	case "net":
+		return "net_delay_ms"
+	case "maxload":
+		return "max_load"
+	default:
+		return m
+	}
+}
+
+func formatMeasure(m string, v float64) string {
+	if m == "maxload" {
+		return f3(v)
+	}
+	return f2(v)
+}
+
+func evalMeasure(e *core.Eval, s core.Strategy, m string) float64 {
+	switch m {
+	case "net":
+		return e.AvgNetworkDelay(s)
+	case "maxload":
+		return e.MaxNodeLoad(s)
+	default:
+		return e.AvgResponseTime(s)
+	}
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// ---------------------------------------------------------------- eval
+
+func runEval(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
+	points := expandSystems(spec.Systems, topo.Size())
+	if len(points) == 0 {
+		return fmt.Errorf("system axes expand to no systems")
+	}
+	rowCols := spec.RowColumns
+	if rowCols == nil {
+		rowCols = []string{"system", "param", "universe"}
+	}
+	tb.Columns = append([]string(nil), rowCols...)
+	for _, d := range spec.Demands {
+		for _, st := range spec.Strategies {
+			for _, m := range spec.Measures {
+				name := measureName(m)
+				if len(spec.Strategies) > 1 {
+					name += "_" + st
+				}
+				if len(spec.Demands) > 1 {
+					name += "_d" + trimFloat(d)
+				}
+				tb.Columns = append(tb.Columns, name)
+			}
+		}
+	}
+
+	// Rows fan out over the engine pool; when more than one row runs at a
+	// time, the per-row anchor searches go serial so the pools do not
+	// multiply. Either way the output is identical.
+	rowPool := poolWidth(spec.Workers, len(points))
+	innerWorkers := spec.Workers
+	if rowPool > 1 {
+		innerWorkers = 1
+	}
+	rows := make([][]string, len(points))
+	errs := make([]error, len(points))
+	par.For(len(points), spec.Workers, func(i int) {
+		rows[i], errs[i] = evalRow(spec, cfg, topo, points[i], innerWorkers)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("system %s/%d: %w", points[i].spec.Family, points[i].spec.Param, err)
+		}
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
+	}
+	return nil
+}
+
+func evalRow(spec *Spec, cfg RunConfig, topo *topology.Topology, pt systemPoint, workers int) ([]string, error) {
+	sys, err := pt.spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	f, err := buildPlacement(spec, cfg, topo, sys, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	var row []string
+	for _, rc := range spec.rowColumnsOrDefault() {
+		switch rc {
+		case "system":
+			row = append(row, pt.axis.DisplayName())
+		case "param":
+			if pt.spec.Family == "singleton" {
+				row = append(row, "-")
+			} else {
+				row = append(row, itoa(pt.spec.Param))
+			}
+		case "universe":
+			row = append(row, itoa(sys.UniverseSize()))
+		default:
+			return nil, fmt.Errorf("unknown row column %q for eval scenario", rc)
+		}
+	}
+
+	// Fault injection and strategy resolution are demand-independent
+	// (the strategy LP minimizes network delay; alpha never enters it),
+	// so both happen once; only the evaluator's alpha varies per demand.
+	e, err := core.NewEval(topo, sys, f, 0)
+	if err != nil {
+		return nil, err
+	}
+	e, down, err := applyFaults(spec.Faults, e)
+	if err != nil {
+		return nil, err
+	}
+	if down {
+		for i := 0; i < len(spec.Demands)*len(spec.Strategies)*len(spec.Measures); i++ {
+			row = append(row, "down")
+		}
+		return row, nil
+	}
+	strats := make([]core.Strategy, len(spec.Strategies))
+	infeasible := make([]bool, len(spec.Strategies))
+	for si, st := range spec.Strategies {
+		strats[si], infeasible[si], err = resolveStrategy(st, e, spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range spec.Demands {
+		e.Alpha = core.AlphaForDemand(d)
+		for si := range spec.Strategies {
+			for _, m := range spec.Measures {
+				if infeasible[si] {
+					row = append(row, "infeasible")
+					continue
+				}
+				row = append(row, formatMeasure(m, evalMeasure(e, strats[si], m)))
+			}
+		}
+	}
+	return row, nil
+}
+
+func (s *Spec) rowColumnsOrDefault() []string {
+	if s.RowColumns == nil {
+		return []string{"system", "param", "universe"}
+	}
+	return s.RowColumns
+}
+
+// applyFaults injects the spec's slowdowns and failures into an
+// evaluation; down reports that no quorum survived.
+func applyFaults(fs *FaultSpec, e *core.Eval) (*core.Eval, bool, error) {
+	if fs.empty() {
+		return e, false, nil
+	}
+	var err error
+	if fs.SlowFactor > 0 {
+		slow, rerr := resolveSites(e.Topo, fs.SlowSites, fs.SlowRegion)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		e, err = faults.Slowdown(e, slow, fs.SlowFactor)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	failed, err := resolveSites(e.Topo, fs.Sites, fs.Region)
+	if err != nil {
+		return nil, false, err
+	}
+	if fs.WorstCase > 0 {
+		failed = append(failed, faults.WorstCaseFailure(e, fs.WorstCase)...)
+	}
+	if len(failed) == 0 {
+		return e, false, nil
+	}
+	fe, err := faults.Apply(e, dedupe(failed))
+	if err != nil {
+		if errors.Is(err, quorum.ErrNoQuorumSurvives) {
+			return nil, true, nil
+		}
+		return nil, false, err
+	}
+	return fe, false, nil
+}
+
+func resolveSites(topo *topology.Topology, names []string, region string) ([]int, error) {
+	var out []int
+	for _, name := range names {
+		found := -1
+		for i := 0; i < topo.Size(); i++ {
+			if topo.Site(i).Name == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("no site named %q", name)
+		}
+		out = append(out, found)
+	}
+	if region != "" {
+		hit := false
+		for i := 0; i < topo.Size(); i++ {
+			if topo.Site(i).Region == region {
+				out = append(out, i)
+				hit = true
+			}
+		}
+		if !hit {
+			return nil, fmt.Errorf("no sites in region %q", region)
+		}
+	}
+	return out, nil
+}
+
+func dedupe(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != ids[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// resolveStrategy materializes a strategy name against an evaluation;
+// "lp" solves the access-strategy LP under the spec's uniform capacity.
+func resolveStrategy(name string, e *core.Eval, spec *Spec, cfg RunConfig) (core.Strategy, bool, error) {
+	switch name {
+	case "closest":
+		return core.ClosestStrategy{}, false, nil
+	case "balanced":
+		return core.BalancedStrategy{}, false, nil
+	case "lp":
+		c := spec.UniformCapacity
+		if c == 0 {
+			c = 1
+		}
+		caps := make([]float64, e.Topo.Size())
+		for i := range caps {
+			caps[i] = c
+		}
+		opt, err := strategy.NewOptimizer(e, strategy.Config{LP: cfg.lpOptions()})
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := opt.Optimize(caps)
+		if err != nil {
+			if errors.Is(err, lp.ErrInfeasible) {
+				return nil, true, nil
+			}
+			return nil, false, err
+		}
+		return res.Strategy, false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+// ---------------------------------------------------------------- sweep
+
+func runSweep(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
+	points := expandSystems(spec.Systems, topo.Size())
+	if len(points) == 0 {
+		return fmt.Errorf("system axes expand to no systems")
+	}
+	variants := spec.Sweep.variants()
+	rowCols := spec.RowColumns
+	if rowCols == nil {
+		rowCols = []string{"universe", "capacity"}
+	}
+	tb.Columns = append([]string(nil), rowCols...)
+	for _, v := range variants {
+		if len(variants) > 1 {
+			tb.Columns = append(tb.Columns, "net_"+v, "resp_"+v)
+		} else {
+			tb.Columns = append(tb.Columns, "net_delay_ms", "response_ms")
+		}
+	}
+
+	// Systems run serially: each sweep already fans its capacity points
+	// out over the worker pool.
+	for _, pt := range points {
+		sys, err := pt.spec.Build()
+		if err != nil {
+			return err
+		}
+		f, err := buildPlacement(spec, cfg, topo, sys, spec.Workers)
+		if err != nil {
+			return err
+		}
+		e, err := core.NewEval(topo, sys, f, core.AlphaForDemand(spec.Sweep.Demand))
+		if err != nil {
+			return err
+		}
+		lopt := sys.OptimalLoad()
+		values := strategy.SweepValues(lopt, spec.Sweep.Points)
+		results := make([][]strategy.SweepPoint, len(variants))
+		for vi, v := range variants {
+			switch v {
+			case "uniform":
+				results[vi], err = strategy.UniformSweepCfg(e, values, cfg.sweepConfig(spec.Workers))
+			case "nonuniform":
+				results[vi], err = strategy.NonUniformSweepCfg(e, lopt, values, cfg.sweepConfig(spec.Workers))
+			default:
+				err = fmt.Errorf("unknown sweep variant %q", v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		for i := range values {
+			var row []string
+			for _, rc := range rowCols {
+				switch rc {
+				case "universe":
+					row = append(row, itoa(sys.UniverseSize()))
+				case "capacity":
+					row = append(row, f3(values[i]))
+				default:
+					return fmt.Errorf("unknown row column %q for sweep scenario", rc)
+				}
+			}
+			for vi := range variants {
+				row = append(row, sweepCells(results[vi][i])...)
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return nil
+}
+
+func sweepCells(pt strategy.SweepPoint) []string {
+	if pt.Infeasible {
+		return []string{"infeasible", "infeasible"}
+	}
+	return []string{f2(pt.NetDelay), f2(pt.Response)}
+}
+
+// -------------------------------------------------------------- iterate
+
+func runIterate(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
+	points := expandSystems(spec.Systems, topo.Size())
+	if len(points) != 1 {
+		return fmt.Errorf("iterate scenario needs exactly one system, axes expand to %d", len(points))
+	}
+	sys, err := points[0].spec.Build()
+	if err != nil {
+		return err
+	}
+
+	// One-to-one baseline under the balanced strategy (the iterative
+	// algorithm's uniform starting strategy).
+	oto, err := buildPlacement(spec, cfg, topo, sys, spec.Workers)
+	if err != nil {
+		return err
+	}
+	eOto, err := core.NewEval(topo, sys, oto, 0)
+	if err != nil {
+		return err
+	}
+	otoDelay := eOto.AvgNetworkDelay(core.BalancedStrategy{})
+
+	maxIter := spec.Iterate.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 2
+	}
+	alpha := core.AlphaForDemand(spec.Iterate.Demand)
+	values := strategy.SweepValues(sys.OptimalLoad(), spec.Iterate.Points)
+
+	// Each capacity value runs the full iterative algorithm independently
+	// on its own topology clone; the sweep fans out over the bounded pool
+	// and results land in value order regardless of scheduling.
+	type point struct {
+		iter1, iter2 float64
+		err          error
+	}
+	pts := make([]point, len(values))
+	par.For(len(values), spec.Workers, func(i int) {
+		tp := topo.Clone()
+		if err := tp.SetUniformCapacity(values[i]); err != nil {
+			pts[i].err = err
+			return
+		}
+		res, err := placement.Iterate(tp, sys, placement.IterateConfig{
+			Alpha:         alpha,
+			MaxIterations: maxIter,
+			Candidates:    spec.Iterate.Candidates,
+			LP:            cfg.lpOptions(),
+			// The capacity points already saturate the pool; nesting the
+			// anchor search's pool would multiply live LP workspaces.
+			Workers: 1,
+		})
+		if err != nil {
+			pts[i].err = err
+			return
+		}
+		pts[i].iter1 = res.History[0].Phase2NetDelay
+		pts[i].iter2 = pts[i].iter1
+		if len(res.History) > 1 {
+			pts[i].iter2 = res.History[1].Phase2NetDelay
+		}
+	})
+
+	tb.Columns = []string{"capacity", "iter1_net_delay", "iter2_net_delay", "one_to_one"}
+	for i, c := range values {
+		if pts[i].err != nil {
+			return pts[i].err
+		}
+		tb.AddRow(f3(c), f2(pts[i].iter1), f2(pts[i].iter2), f2(otoDelay))
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- protocol
+
+// RepresentativeClients picks the k nodes whose expected network delay to
+// the placement (under uniform access) is closest to the all-nodes
+// average — the paper's §3 recipe for its ten client locations.
+func RepresentativeClients(e *core.Eval, k int) ([]int, error) {
+	n := e.Topo.Size()
+	if k > n {
+		return nil, fmt.Errorf("scenario: want %d client sites from %d nodes", k, n)
+	}
+	delays := make([]float64, n)
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		delays[v] = e.ClientResponseTime(core.BalancedStrategy{}, v)
+		sum += delays[v]
+	}
+	avg := sum / float64(n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da := math.Abs(delays[idx[a]] - avg)
+		db := math.Abs(delays[idx[b]] - avg)
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b]
+	})
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out, nil
+}
+
+func runProtocol(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
+	ps := spec.Protocol
+	type setup struct {
+		sys         quorum.Threshold
+		serverSites []int
+		clientSites []int
+	}
+	setups := make([]setup, len(ps.Ts))
+	for i, t := range ps.Ts {
+		sys, err := quorum.QUMajority(t)
+		if err != nil {
+			return err
+		}
+		f, err := placement.MajorityOneToOne(topo, sys, placement.Options{Workers: spec.Workers})
+		if err != nil {
+			return err
+		}
+		e, err := core.NewEval(topo, sys, f, 0)
+		if err != nil {
+			return err
+		}
+		clients, err := RepresentativeClients(e, ps.clientSites())
+		if err != nil {
+			return err
+		}
+		setups[i] = setup{sys: sys, serverSites: f.Targets(), clientSites: clients}
+	}
+
+	rowCols := spec.RowColumns
+	if rowCols == nil {
+		rowCols = []string{"t", "universe", "clients"}
+	}
+	tb.Columns = append(append([]string(nil), rowCols...), "net_delay_ms", "response_ms")
+
+	// The (t, clients) grid fans out over the pool: each point is an
+	// independent, seeded simulation.
+	type point struct {
+		m   *protocol.Metrics
+		err error
+	}
+	n := len(ps.Ts) * len(ps.PerSite)
+	pts := make([]point, n)
+	par.For(n, spec.Workers, func(i int) {
+		s := setups[i/len(ps.PerSite)]
+		perSite := ps.PerSite[i%len(ps.PerSite)]
+		var clients []int
+		for _, site := range s.clientSites {
+			for c := 0; c < perSite; c++ {
+				clients = append(clients, site)
+			}
+		}
+		pts[i].m, pts[i].err = protocol.RunSimAveraged(protocol.Config{
+			Topo:          topo,
+			ServerSites:   s.serverSites,
+			QuorumSize:    s.sys.QuorumSize(),
+			ClientSites:   clients,
+			ServiceTimeMS: ps.serviceTime(),
+			LinkTxMS:      ps.linkTx(),
+			DurationMS:    cfg.quDuration(),
+			Seed:          cfg.Seed,
+		}, cfg.quRuns())
+	})
+
+	for i := 0; i < n; i++ {
+		if pts[i].err != nil {
+			return pts[i].err
+		}
+		s := setups[i/len(ps.PerSite)]
+		perSite := ps.PerSite[i%len(ps.PerSite)]
+		var row []string
+		for _, rc := range rowCols {
+			switch rc {
+			case "t":
+				row = append(row, itoa(ps.Ts[i/len(ps.PerSite)]))
+			case "universe":
+				row = append(row, itoa(s.sys.UniverseSize()))
+			case "clients":
+				row = append(row, itoa(perSite*ps.clientSites()))
+			default:
+				return fmt.Errorf("unknown row column %q for protocol scenario", rc)
+			}
+		}
+		row = append(row, f2(pts[i].m.AvgNetDelayMS), f2(pts[i].m.AvgResponseMS))
+		tb.AddRow(row...)
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- timeline
+
+func runTimeline(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
+	systems := expandSystems(spec.Systems, topo.Size())
+	if len(systems) != 1 {
+		return fmt.Errorf("timeline scenario drives one planner; system axes expand to %d systems", len(systems))
+	}
+	strat := plan.StratClosest
+	if len(spec.Strategies) > 0 {
+		strat = plan.StrategyKind(spec.Strategies[0])
+	}
+	demand := 0.0
+	if len(spec.Demands) > 0 {
+		demand = spec.Demands[0]
+	}
+	p, err := plan.New(topo, plan.Config{
+		System:       systems[0].spec,
+		Algorithm:    spec.Placement.algorithm(),
+		Strategy:     strat,
+		Demand:       demand,
+		Reproducible: cfg.Reproducible,
+		Workers:      spec.Workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	tb.Columns = []string{"step", "sites", "response_ms", "net_delay_ms", "max_load", "replanned"}
+	addRow := func(label string, res *plan.Result) {
+		replanned := strings.Join(res.RecomputedNames(), ",")
+		if replanned == "" {
+			replanned = "-"
+		}
+		tb.AddRow(label, itoa(p.Size()), f2(res.Response), f2(res.NetDelay), f3(res.MaxLoad), replanned)
+	}
+
+	res, err := p.Plan()
+	if err != nil {
+		return fmt.Errorf("initial plan: %w", err)
+	}
+	addRow("initial", res)
+
+	for _, step := range spec.Timeline {
+		if err := applyStep(p, step); err != nil {
+			return fmt.Errorf("step %q: %w", step.Label, err)
+		}
+		res, err := p.Plan()
+		if err != nil {
+			return fmt.Errorf("step %q: %w", step.Label, err)
+		}
+		addRow(step.Label, res)
+	}
+	return nil
+}
+
+// defaultPeerAccessMS stands in for an existing site's unrecorded
+// access-link delay when splicing a new site in (the generators draw
+// access delays from roughly 0.5–8 ms).
+const defaultPeerAccessMS = 2.0
+
+func applyStep(p *plan.Planner, step Step) error {
+	if step.Demand != nil {
+		if err := p.SetDemand(*step.Demand); err != nil {
+			return err
+		}
+	}
+	if step.UniformCapacity != nil {
+		if err := p.SetUniformCapacity(*step.UniformCapacity); err != nil {
+			return err
+		}
+	}
+	if len(step.SiteCapacity) > 0 {
+		names := make([]string, 0, len(step.SiteCapacity))
+		for name := range step.SiteCapacity {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			v := p.SiteIndex(name)
+			if v < 0 {
+				return fmt.Errorf("no site named %q", name)
+			}
+			if err := p.SetSiteCapacity(v, step.SiteCapacity[name]); err != nil {
+				return err
+			}
+		}
+	}
+	if step.ScaleRTT != nil {
+		factor, region := step.ScaleRTT.Factor, step.ScaleRTT.Region
+		hit := false
+		n := p.Size()
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if region != "" && p.Site(u).Region != region && p.Site(v).Region != region {
+					continue
+				}
+				hit = true
+				if err := p.SetRTT(u, v, p.RTT(u, v)*factor); err != nil {
+					return err
+				}
+			}
+		}
+		if !hit {
+			return fmt.Errorf("scale_rtt matched no links (region %q)", region)
+		}
+	}
+	for _, ns := range step.AddSites {
+		site := topology.Site{Name: ns.Name, Region: ns.Region, Lat: ns.Lat, Lon: ns.Lon}
+		rtts := make([]float64, p.Size())
+		for i := range rtts {
+			// AccessMS covers only the new site's end; existing sites'
+			// access delays are not recorded on the topology, so the far
+			// end gets a typical value from the generators' ranges.
+			rtts[i] = topology.EstimateRTT(site, p.Site(i), 0, ns.AccessMS, defaultPeerAccessMS)
+		}
+		capacity := ns.Capacity
+		if capacity == 0 {
+			capacity = 1
+		}
+		if err := p.AddSite(site, rtts, capacity); err != nil {
+			return err
+		}
+	}
+	for _, name := range step.RemoveSites {
+		if err := p.RemoveSite(name); err != nil {
+			return err
+		}
+	}
+	if step.RemoveRegion != "" {
+		var names []string
+		for i := 0; i < p.Size(); i++ {
+			if p.Site(i).Region == step.RemoveRegion {
+				names = append(names, p.Site(i).Name)
+			}
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no sites in region %q", step.RemoveRegion)
+		}
+		for _, name := range names {
+			if err := p.RemoveSite(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package scenario
+
+import "fmt"
+
+func fp(v float64) *float64 { return &v }
+
+// Library returns the built-in workload scenarios: the wide-area
+// conditions a deployed quorum system re-plans around. Each is a
+// timeline over the staged planner; run them with Run or through
+// `quorumbench -scenario <name>`.
+func Library() []Spec {
+	return []Spec{
+		RegionalOutage(),
+		DiurnalDemand(),
+		RTTDrift(),
+		SiteChurn(),
+	}
+}
+
+// LibraryByName finds a built-in scenario.
+func LibraryByName(name string) (*Spec, error) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return &s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: no built-in scenario %q", name)
+}
+
+// RegionalOutage loses all European sites at once, absorbs a demand
+// spike while running on the survivors, then recovers partially through
+// three replacement sites. The placement stage re-runs on every
+// membership change; the planner re-places the grid on the surviving
+// WAN.
+func RegionalOutage() Spec {
+	return Spec{
+		Name:  "regional-outage",
+		Title: "5x5 Grid on PlanetLab-50, LP strategies: losing and rebuilding a region",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"eu-outage removes every 'europe' site: the planner re-places the grid on the survivors",
+			"demand-spike is an evaluation-only re-plan; recovery re-places onto the new sites",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{5}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{8000},
+		Timeline: []Step{
+			{Label: "eu-outage", RemoveRegion: "europe"},
+			{Label: "demand-spike", Demand: fp(16000)},
+			{Label: "eu-recovery", AddSites: []NewSiteStep{
+				{Name: "eu-new-frankfurt", Region: "europe", Lat: 50.11, Lon: 8.68, AccessMS: 2},
+				{Name: "eu-new-paris", Region: "europe", Lat: 48.86, Lon: 2.35, AccessMS: 2},
+				{Name: "eu-new-london", Region: "europe", Lat: 51.51, Lon: -0.13, AccessMS: 2},
+			}},
+			{Label: "demand-normal", Demand: fp(8000)},
+		},
+	}
+}
+
+// DiurnalDemand follows a day of load on a fixed deployment. Every step
+// is a demand-only delta, so each re-plan re-runs just the evaluation
+// stage — the LP strategy and placement are reused untouched.
+func DiurnalDemand() Spec {
+	return Spec{
+		Name:  "diurnal-demand",
+		Title: "5x5 Grid on PlanetLab-50, LP strategies: a day of demand",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"demand-only deltas re-plan in the evaluation stage alone (replanned column: eval)",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{5}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{1000},
+		Timeline: []Step{
+			{Label: "morning", Demand: fp(4000)},
+			{Label: "midday-peak", Demand: fp(16000)},
+			{Label: "evening", Demand: fp(8000)},
+			{Label: "night", Demand: fp(1000)},
+		},
+	}
+}
+
+// RTTDrift models transatlantic congestion: delays through Europe
+// inflate, worsen, then mostly relax. RTT deltas re-close the metric and
+// re-run placement, strategy, and evaluation.
+func RTTDrift() Spec {
+	return Spec{
+		Name:  "rtt-drift",
+		Title: "4x4 Grid on PlanetLab-50, LP strategies: congestion on European links",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"each drift step scales the raw RTT of every link touching 'europe' and re-plans end to end",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{4}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{8000},
+		Timeline: []Step{
+			{Label: "congestion-onset", ScaleRTT: &ScaleRTTStep{Factor: 1.3, Region: "europe"}},
+			{Label: "congestion-peak", ScaleRTT: &ScaleRTTStep{Factor: 1.25, Region: "europe"}},
+			{Label: "partial-relief", ScaleRTT: &ScaleRTTStep{Factor: 0.7, Region: "europe"}},
+		},
+	}
+}
+
+// SiteChurn decommissions sites and splices replacements in, the
+// membership churn a long-lived deployment accumulates.
+func SiteChurn() Spec {
+	return Spec{
+		Name:  "site-churn",
+		Title: "3x3 Grid on PlanetLab-50, LP strategies: decommissioning and expansion",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"new sites get synthesized RTTs from their coordinates (topology.EstimateRTT)",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{3}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{4000},
+		Timeline: []Step{
+			{Label: "decommission-na", RemoveSites: []string{"na-east-00", "na-west-01"}},
+			{Label: "expand-chicago", AddSites: []NewSiteStep{
+				{Name: "na-central-new-00", Region: "na-central", Lat: 41.88, Lon: -87.63, AccessMS: 2},
+			}},
+			{Label: "expand-saopaulo", AddSites: []NewSiteStep{
+				{Name: "s-america-new-00", Region: "s-america", Lat: -23.55, Lon: -46.63, AccessMS: 4},
+			}},
+			{Label: "decommission-eu", RemoveSites: []string{"europe-02"}},
+		},
+	}
+}

@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// smallSynth is a compact topology spec so engine tests stay fast.
+func smallSynth() TopologySpec {
+	return TopologySpec{
+		Source: "synth",
+		Seed:   7,
+		Synth: &topology.GenConfig{
+			Name:      "scenario-test-15",
+			Inflation: 1.4,
+			Regions: []topology.RegionSpec{
+				{Name: "west", Count: 5, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+				{Name: "east", Count: 5, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+				{Name: "eu", Count: 5, LatMin: 44, LatMax: 55, LonMin: -2, LonMax: 15, AccessMin: 1, AccessMax: 4},
+			},
+		},
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Name:       "t",
+			Kind:       KindEval,
+			Topology:   TopologySpec{Source: "planetlab50"},
+			Systems:    []SystemAxis{{Family: "grid", Params: []int{3}}},
+			Demands:    []float64{0},
+			Strategies: []string{"closest"},
+			Measures:   []string{"response"},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"missing name", func(s *Spec) { s.Name = "" }},
+		{"missing kind", func(s *Spec) { s.Kind = "" }},
+		{"unknown kind", func(s *Spec) { s.Kind = "banana" }},
+		{"missing topology", func(s *Spec) { s.Topology = TopologySpec{} }},
+		{"unknown topology", func(s *Spec) { s.Topology.Source = "mars" }},
+		{"file without path", func(s *Spec) { s.Topology = TopologySpec{Source: "file"} }},
+		{"synth without config", func(s *Spec) { s.Topology = TopologySpec{Source: "synth"} }},
+		{"unknown family", func(s *Spec) { s.Systems[0].Family = "hexagon" }},
+		{"unknown strategy", func(s *Spec) { s.Strategies = []string{"psychic"} }},
+		{"unknown measure", func(s *Spec) { s.Measures = []string{"vibes"} }},
+		{"unknown algorithm", func(s *Spec) { s.Placement.Algorithm = "scatter" }},
+		{"eval without demands", func(s *Spec) { s.Demands = nil }},
+		{"eval without systems", func(s *Spec) { s.Systems = nil }},
+		{"sweep without points", func(s *Spec) { s.Kind = KindSweep; s.Sweep = &SweepSpec{} }},
+		{"sweep bad variant", func(s *Spec) {
+			s.Kind = KindSweep
+			s.Sweep = &SweepSpec{Points: 2, Variants: []string{"diagonal"}}
+		}},
+		{"iterate without spec", func(s *Spec) { s.Kind = KindIterate }},
+		{"protocol without grid", func(s *Spec) { s.Kind = KindProtocol; s.Protocol = &ProtocolSpec{} }},
+		{"timeline without steps", func(s *Spec) { s.Kind = KindTimeline }},
+		{"timeline unlabeled step", func(s *Spec) {
+			s.Kind = KindTimeline
+			s.Timeline = []Step{{}}
+		}},
+		{"timeline bad factor", func(s *Spec) {
+			s.Kind = KindTimeline
+			s.Timeline = []Step{{Label: "x", ScaleRTT: &ScaleRTTStep{Factor: -1}}}
+		}},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+	s := base()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("base spec rejected: %v", err)
+	}
+}
+
+// TestLibraryJSONRoundTrip checks every built-in scenario survives the
+// JSON encode → Load cycle unchanged — the same path quorumbench uses
+// for user spec files.
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	for _, spec := range Library() {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !reflect.DeepEqual(*got, spec) {
+			t.Errorf("%s: round trip changed the spec:\n  in  %+v\n  out %+v", spec.Name, spec, *got)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"name":"x","kind":"eval","topology":{"source":"planetlab50"},"frobnicate":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestEvalWorkerIndependence runs the same eval spec serially and on the
+// full pool; the tables must match byte for byte.
+func TestEvalWorkerIndependence(t *testing.T) {
+	mk := func(workers int) Spec {
+		return Spec{
+			Name:       "worker-independence",
+			Kind:       KindEval,
+			Topology:   smallSynth(),
+			Systems:    []SystemAxis{{Family: "singleton"}, {Family: "grid", Params: []int{2, 3}}, {Family: "majority", Params: []int{1, 2}}},
+			Demands:    []float64{0, 4000},
+			Strategies: []string{"closest", "balanced"},
+			Measures:   []string{"response"},
+			Workers:    workers,
+		}
+	}
+	var tables []*Table
+	for _, w := range []int{1, 2, 0} {
+		spec := mk(w)
+		tb, err := Run(&spec, RunConfig{Reproducible: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, tb)
+	}
+	for i := 1; i < len(tables); i++ {
+		if !reflect.DeepEqual(tables[0].Rows, tables[i].Rows) {
+			t.Fatalf("worker count changed rows:\n%v\nvs\n%v", tables[0].Rows, tables[i].Rows)
+		}
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Fatalf("expected 5 rows (singleton + 2 grids + 2 majorities), got %d", len(tables[0].Rows))
+	}
+}
+
+// TestEvalFaults injects a regional failure: the singleton placed inside
+// the region dies ("down") while the grid survives with degraded delay.
+func TestEvalFaults(t *testing.T) {
+	spec := Spec{
+		Name:       "faults",
+		Kind:       KindEval,
+		Topology:   smallSynth(),
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{3}}},
+		Demands:    []float64{0},
+		Strategies: []string{"closest"},
+		Measures:   []string{"response"},
+		Faults:     &FaultSpec{WorstCase: 1},
+	}
+	withFault, err := Run(&spec, RunConfig{Reproducible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = nil
+	spec.Name = "no-faults"
+	clean, err := Run(&spec, RunConfig{Reproducible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := withFault.Cell(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := clean.Cell(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf < vc {
+		t.Errorf("worst-case failure improved response: %v < %v", vf, vc)
+	}
+
+	// Killing a whole region of a 15-site topology under a 3×3 grid can
+	// still leave quorums; killing every region must not.
+	spec.Faults = &FaultSpec{Region: "west"}
+	spec.Name = "region-faults"
+	if _, err := Run(&spec, RunConfig{Reproducible: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimelineLibrary executes every built-in workload end to end and
+// checks the replanned column matches each scenario's story.
+func TestTimelineLibrary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full timelines")
+	}
+	for _, spec := range Library() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			tb, err := Run(&spec, RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) != len(spec.Timeline)+1 {
+				t.Fatalf("%d rows for %d steps", len(tb.Rows), len(spec.Timeline))
+			}
+			repCol, err := tb.Col("replanned")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tb.Rows[0][repCol]; got != "topology,system,placement,strategy,eval" {
+				t.Errorf("initial plan recomputed %q", got)
+			}
+			if spec.Name == "diurnal-demand" {
+				for i := 1; i < len(tb.Rows); i++ {
+					if got := tb.Rows[i][repCol]; got != "eval" {
+						t.Errorf("step %d: demand-only delta recomputed %q, want eval only", i, got)
+					}
+				}
+			}
+		})
+	}
+}

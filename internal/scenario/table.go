@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is the result of a scenario run (and of the figure regenerations
+// built on it): rows of formatted cells under named columns.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records shape claims (e.g. what the paper says about the
+	// figure) printed after the table.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("scenario: row has %d cells, table %s has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format writes the table as aligned text.
+func (t *Table) Format(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	return nil
+}
+
+// FormatMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) FormatMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "- %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Cell returns the numeric value of a cell (tests and shape checks).
+func (t *Table) Cell(row, col int) (float64, error) {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Columns) {
+		return 0, fmt.Errorf("scenario: cell (%d,%d) out of range", row, col)
+	}
+	return strconv.ParseFloat(t.Rows[row][col], 64)
+}
+
+// Col returns the index of a named column.
+func (t *Table) Col(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: table %s has no column %q", t.ID, name)
+}
+
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func itoa(v int) string   { return strconv.Itoa(v) }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -88,6 +89,7 @@ func Load(r io.Reader) (*Topology, error) {
 
 	sites := make([]Site, n)
 	caps := make([]float64, n)
+	seen := make(map[string]int, n)
 	for i := 0; i < n; i++ {
 		line, err := next()
 		if err != nil {
@@ -103,7 +105,18 @@ func Load(r io.Reader) (*Topology, error) {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("topology: site line %d has invalid numbers: %q", i, line)
 		}
-		sites[i] = Site{Name: fields[0], Region: fields[1], Lat: lat, Lon: lon}
+		name := fields[0]
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("topology: duplicate site name %q (sites %d and %d)", name, prev, i)
+		}
+		seen[name] = i
+		if !isFinite(lat) || !isFinite(lon) {
+			return nil, fmt.Errorf("topology: site %q has non-finite coordinates (%v, %v)", name, lat, lon)
+		}
+		if capacity <= 0 || !isFinite(capacity) {
+			return nil, fmt.Errorf("topology: site %q has invalid capacity %v (must be positive and finite)", name, capacity)
+		}
+		sites[i] = Site{Name: name, Region: fields[1], Lat: lat, Lon: lon}
 		caps[i] = capacity
 	}
 
@@ -119,8 +132,12 @@ func Load(r io.Reader) (*Topology, error) {
 		}
 		for j, f := range fields {
 			d, err := strconv.ParseFloat(f, 64)
-			if err != nil || d < 0 {
-				return nil, fmt.Errorf("topology: matrix entry (%d,%d) invalid: %q", i, j, f)
+			if err != nil || d < 0 || !isFinite(d) {
+				return nil, fmt.Errorf("topology: RTT entry (%s,%s) invalid: %q (must be a finite non-negative number)",
+					sites[i].Name, sites[j].Name, f)
+			}
+			if i == j && d != 0 {
+				return nil, fmt.Errorf("topology: site %q has non-zero self-RTT %q", sites[i].Name, f)
 			}
 			// Row-major assignment; symmetry is restored by the closure.
 			if j >= i {
@@ -145,3 +162,5 @@ func Load(r io.Reader) (*Topology, error) {
 	}
 	return t, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -73,6 +73,7 @@ func TestLoadErrors(t *testing.T) {
 	tests := []struct {
 		name  string
 		input string
+		want  string // substring the error must contain ("" = any error)
 	}{
 		{name: "empty", input: ""},
 		{name: "bad header", input: "not-a-topology\nx\n1\na r 0 0 1\n0\n"},
@@ -84,11 +85,25 @@ func TestLoadErrors(t *testing.T) {
 		{name: "negative distance", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 -5\n-5 0\n"},
 		{name: "truncated matrix", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 5\n"},
 		{name: "zero capacity", input: "quorumnet-topology v1\nx\n2\na r 0 0 0\nb r 0 1 1\n0 5\n5 0\n"},
+		{name: "negative capacity", input: "quorumnet-topology v1\nx\n2\na r 0 0 -1\nb r 0 1 1\n0 5\n5 0\n", want: "invalid capacity"},
+		{name: "NaN capacity", input: "quorumnet-topology v1\nx\n2\na r 0 0 NaN\nb r 0 1 1\n0 5\n5 0\n", want: "invalid capacity"},
+		{name: "Inf capacity", input: "quorumnet-topology v1\nx\n2\na r 0 0 +Inf\nb r 0 1 1\n0 5\n5 0\n", want: "invalid capacity"},
+		{name: "duplicate site name", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\na r 0 1 1\n0 5\n5 0\n", want: "duplicate site name"},
+		{name: "NaN RTT", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 NaN\nNaN 0\n", want: "RTT entry (a,b) invalid"},
+		{name: "Inf RTT", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 Inf\nInf 0\n", want: "RTT entry (a,b) invalid"},
+		{name: "non-numeric RTT", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n0 fast\nfast 0\n", want: "RTT entry (a,b) invalid"},
+		{name: "nonzero self-RTT", input: "quorumnet-topology v1\nx\n2\na r 0 0 1\nb r 0 1 1\n3 5\n5 0\n", want: "self-RTT"},
+		{name: "NaN latitude", input: "quorumnet-topology v1\nx\n2\na r NaN 0 1\nb r 0 1 1\n0 5\n5 0\n", want: "non-finite coordinates"},
+		{name: "Inf longitude", input: "quorumnet-topology v1\nx\n2\na r 0 Inf 1\nb r 0 1 1\n0 5\n5 0\n", want: "non-finite coordinates"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := Load(strings.NewReader(tc.input)); err == nil {
-				t.Error("Load succeeded, want error")
+			_, err := Load(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("Load succeeded, want error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
 	}

@@ -105,6 +105,23 @@ func newDistMatrix(sites []Site, access []float64, cfg GenConfig, rng *rand.Rand
 	return m
 }
 
+// EstimateRTT synthesizes a plausible round-trip time between two sites
+// from their coordinates, the same way the generators do but without
+// jitter: great-circle propagation at fiber speed inflated for indirect
+// routing, plus the per-site access delay at both ends. It lets callers
+// splice new sites into an existing topology (site churn) when no
+// measurement is available. inflation ≤ 0 defaults to 1.4.
+func EstimateRTT(a, b Site, inflation, accessA, accessB float64) float64 {
+	if inflation <= 0 {
+		inflation = 1.4
+	}
+	rtt := 2*greatCircleKM(a, b)/fiberKMPerMS*inflation + accessA + accessB
+	if rtt < 0.1 {
+		rtt = 0.1
+	}
+	return rtt
+}
+
 // greatCircleKM returns the haversine distance between two sites.
 func greatCircleKM(a, b Site) float64 {
 	const degToRad = math.Pi / 180

@@ -28,9 +28,11 @@
 // algorithms (the latter via an LP relaxation, Lin–Vitter filtering and
 // Shmoys–Tardos rounding over the built-in simplex solver); the
 // access-strategy LP; capacity tuning; the §4.2 iterative algorithm; and
-// a discrete-event Q/U protocol simulator. The experiment harness that
-// regenerates every figure of the paper is exposed through Experiments
-// and the quorumbench command.
+// a discrete-event Q/U protocol simulator. The staged Planner re-plans
+// deployments incrementally as conditions drift (demand shifts, RTT
+// drift, capacity changes, site churn), and the declarative Scenario
+// engine executes whole workloads — including every figure of the paper,
+// exposed through Experiments and the quorumbench command — from specs.
 package quorumnet
 
 import (
@@ -41,8 +43,10 @@ import (
 	"github.com/quorumnet/quorumnet/internal/faults"
 	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/placement"
+	"github.com/quorumnet/quorumnet/internal/plan"
 	"github.com/quorumnet/quorumnet/internal/protocol"
 	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/scenario"
 	"github.com/quorumnet/quorumnet/internal/strategy"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -345,6 +349,89 @@ func RunProtocol(cfg ProtocolConfig) (*ProtocolMetrics, error) { return protocol
 func RunProtocolAveraged(cfg ProtocolConfig, runs int) (*ProtocolMetrics, error) {
 	return protocol.RunSimAveraged(cfg, runs)
 }
+
+// Planner owns the staged pipeline — topology → system → placement →
+// strategy → evaluation — with dirty-tracking: deltas (SetRTT,
+// SetSiteCapacity, SetDemand, AddSite, RemoveSite, …) invalidate only
+// the stages they affect, so a re-plan after a demand-only delta re-runs
+// just the evaluation and a capacity-only delta re-solves the strategy
+// LP warm-started from the previous basis. A Planner is one logical
+// deployment being re-tuned over time; it is not safe for concurrent
+// use.
+type Planner = plan.Planner
+
+// PlannerConfig fixes a planner's pipeline shape: the quorum system,
+// placement algorithm, access-strategy kind, demand, and solver options.
+type PlannerConfig = plan.Config
+
+// PlanResult is the outcome of one Planner.Plan call: stage artifacts,
+// measures, and the list of stages that were actually recomputed.
+type PlanResult = plan.Result
+
+// PlanStage identifies one pipeline stage in PlanResult.Recomputed.
+type PlanStage = plan.Stage
+
+// SystemSpec names a quorum-system family and parameter declaratively
+// (for PlannerConfig and scenario specs).
+type SystemSpec = plan.SystemSpec
+
+// Placement algorithms for PlannerConfig.Algorithm.
+const (
+	AlgoOneToOne  = plan.AlgoOneToOne
+	AlgoSingleton = plan.AlgoSingleton
+	AlgoManyToOne = plan.AlgoManyToOne
+)
+
+// Access-strategy kinds for PlannerConfig.Strategy.
+const (
+	StratClosest  = plan.StratClosest
+	StratBalanced = plan.StratBalanced
+	StratLP       = plan.StratLP
+)
+
+// NewPlanner builds a staged planner over a starting topology. The
+// topology is deep-copied; later deltas mutate only the planner's state.
+func NewPlanner(topo *Topology, cfg PlannerConfig) (*Planner, error) {
+	return plan.New(topo, cfg)
+}
+
+// Scenario is a declarative workload: a topology source, quorum-system
+// axes, placement algorithm, demand/strategy/measure axes, capacity
+// sweeps, fault injections, protocol grids, or a timeline of deltas
+// driven through a Planner. The engine validates it, expands its axes
+// into plan points, and executes them on a bounded worker pool.
+type Scenario = scenario.Spec
+
+// ScenarioConfig carries execution settings a scenario does not fix:
+// seed, reproducibility, and protocol-simulation scale.
+type ScenarioConfig = scenario.RunConfig
+
+// ScenarioTopology names a scenario's WAN source (built-in topology,
+// file, or synthesis config).
+type ScenarioTopology = scenario.TopologySpec
+
+// ScenarioSystemAxis expands into a sequence of quorum systems (explicit
+// parameters or every parameter fitting a universe bound).
+type ScenarioSystemAxis = scenario.SystemAxis
+
+// ScenarioStep is one timeline entry: the deltas applied before a
+// re-plan.
+type ScenarioStep = scenario.Step
+
+// ScenarioFaults injects failures and slowdowns into eval scenarios.
+type ScenarioFaults = scenario.FaultSpec
+
+// RunScenario executes a scenario and returns its table.
+func RunScenario(spec *Scenario, cfg ScenarioConfig) (*ResultTable, error) {
+	return scenario.Run(spec, cfg)
+}
+
+// LoadScenario reads and validates a JSON scenario spec.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// ScenarioLibrary lists the built-in workload scenarios: regional
+// outage, diurnal demand shift, RTT drift, and site churn.
+func ScenarioLibrary() []Scenario { return scenario.Library() }
 
 // Experiment regenerates one of the paper's figures.
 type Experiment = experiments.Experiment

@@ -115,6 +115,75 @@ func TestPublicAPIIterate(t *testing.T) {
 	}
 }
 
+// TestPublicAPIPlanner drives the staged planner through the deltas the
+// replan example uses and checks the incremental contract: a demand-only
+// delta re-runs a single stage.
+func TestPublicAPIPlanner(t *testing.T) {
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	p, err := quorumnet.NewPlanner(topo, quorumnet.PlannerConfig{
+		System:   quorumnet.SystemSpec{Family: "grid", Param: 3},
+		Strategy: quorumnet.StratLP,
+		Demand:   8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recomputed) != 5 || res.LP == nil || res.Response <= 0 {
+		t.Fatalf("implausible cold plan: %+v", res)
+	}
+	if err := p.SetDemand(16000); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recomputed) != 1 || res.Recomputed[0].String() != "eval" {
+		t.Fatalf("demand delta recomputed %v, want [eval]", res.RecomputedNames())
+	}
+	if err := p.RemoveSite(p.Site(0).Name); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology.Size() != 49 {
+		t.Fatalf("site removal left %d sites", res.Topology.Size())
+	}
+}
+
+// TestPublicAPIScenario runs a library scenario and a hand-built eval
+// spec through the engine.
+func TestPublicAPIScenario(t *testing.T) {
+	if len(quorumnet.ScenarioLibrary()) != 4 {
+		t.Errorf("ScenarioLibrary() = %d scenarios, want 4", len(quorumnet.ScenarioLibrary()))
+	}
+	spec := quorumnet.Scenario{
+		Name:       "api-smoke",
+		Kind:       "eval",
+		Topology:   quorumnet.ScenarioTopology{Source: "planetlab50"},
+		Systems:    []quorumnet.ScenarioSystemAxis{{Family: "grid", Params: []int{3}}},
+		Demands:    []float64{0},
+		Strategies: []string{"closest"},
+		Measures:   []string{"response"},
+	}
+	tb, err := quorumnet.RunScenario(&spec, quorumnet.ScenarioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("expected one row, got %d", len(tb.Rows))
+	}
+	if _, err := tb.Cell(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicAPIExperiments(t *testing.T) {
 	if got := len(quorumnet.Experiments()); got != 10 {
 		t.Errorf("Experiments() = %d figures, want 10", got)

@@ -149,7 +149,7 @@ func run() int {
 func runScenario(arg string, cfg scenario.RunConfig, markdown bool) int {
 	if arg == "list" {
 		for _, s := range scenario.Library() {
-			fmt.Printf("%-18s %-9s %s\n", s.Name, s.Kind, s.Title)
+			fmt.Printf("%-21s %-9s %s\n", s.Name, s.Kind, s.Title)
 		}
 		return 0
 	}

@@ -1,0 +1,142 @@
+// Command quorumd serves one quorum deployment: it owns a staged
+// planner wrapped in a deployment manager, accepts world deltas (RTT
+// probes, capacity changes, demand telemetry) over HTTP, adapts the
+// plan online with placement-move hysteresis, and serves the current
+// versioned plan snapshot to any number of concurrent readers.
+//
+// Usage:
+//
+//	quorumd -addr :8080 -topology planetlab50 -system grid:5 -strategy lp -demand 8000
+//	quorumd -topology wan.txt -system majority:2 -move-cost 10
+//
+// API (see internal/serve):
+//
+//	GET  /v1/plan                     current snapshot (ETag = version)
+//	GET  /v1/plan?after=3&timeout=30s long-poll for a newer version
+//	POST /v1/deltas                   {"deltas":[{"kind":"demand","value":16000}, ...]}
+//	GET  /v1/history?limit=10         recent re-plans with provenance
+//
+// -move-cost is the hysteresis threshold in milliseconds of predicted
+// average response time: placement moves are taken only when they are
+// predicted to win at least that much; strategy-only re-plans are
+// always taken. 0 disables hysteresis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/deploy"
+	"github.com/quorumnet/quorumnet/internal/plan"
+	"github.com/quorumnet/quorumnet/internal/serve"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		topoArg  = flag.String("topology", "planetlab50", "topology: planetlab50, daxlist161, or a quorumnet-format file path")
+		seed     = flag.Int64("seed", topology.DefaultSeed, "topology synthesis seed")
+		system   = flag.String("system", "grid:5", "quorum system family:param (e.g. grid:5, majority:2, qumajority:1)")
+		algo     = flag.String("algorithm", "one-to-one", "placement algorithm: one-to-one, singleton, many-to-one")
+		strat    = flag.String("strategy", "lp", "access strategy: closest, balanced, lp")
+		demand   = flag.Float64("demand", 8000, "initial per-client demand (requests)")
+		moveCost = flag.Float64("move-cost", 5, "placement-move hysteresis threshold (ms of predicted response time; 0 disables)")
+		history  = flag.Int("history", 64, "re-plan history entries retained")
+		maxWait  = flag.Duration("max-wait", 30*time.Second, "long-poll timeout cap")
+		workers  = flag.Int("workers", 0, "placement search workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	topo, err := buildTopology(*topoArg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := plan.New(topo, plan.Config{
+		System:    sys,
+		Algorithm: plan.Algorithm(*algo),
+		Strategy:  plan.StrategyKind(*strat),
+		Demand:    *demand,
+		Workers:   *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	m, err := deploy.New(p, deploy.Config{MoveCost: *moveCost, HistoryLimit: *history})
+	if err != nil {
+		fatal(err)
+	}
+	snap := m.Current().Snapshot
+	log.Printf("quorumd: planned %s on %s (%d sites) in %s: response %.2fms, net delay %.2fms",
+		snap.System.Name(), snap.Topology.Name(), snap.Topology.Size(),
+		time.Since(start).Round(time.Millisecond), snap.Response, snap.NetDelay)
+
+	srv := serve.New(m, serve.Options{MaxWait: *maxWait})
+	log.Printf("quorumd: serving on %s (move-cost %.2fms)", *addr, *moveCost)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func buildTopology(arg string, seed int64) (*topology.Topology, error) {
+	switch arg {
+	case "planetlab50":
+		return topology.PlanetLab50(seed), nil
+	case "daxlist161":
+		return topology.Daxlist161(seed), nil
+	default:
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topology %q is neither built-in nor a readable file: %w", arg, err)
+		}
+		defer f.Close()
+		return topology.Load(f)
+	}
+}
+
+func parseSystem(arg string) (plan.SystemSpec, error) {
+	fam, paramStr, found := strings.Cut(arg, ":")
+	if fam == "singleton" {
+		return plan.SystemSpec{Family: "singleton"}, nil
+	}
+	if !found {
+		return plan.SystemSpec{}, fmt.Errorf("system %q: want family:param (e.g. grid:5) or threshold:q:n", arg)
+	}
+	if fam == "threshold" {
+		qStr, nStr, ok := strings.Cut(paramStr, ":")
+		if !ok {
+			return plan.SystemSpec{}, fmt.Errorf("system %q: want threshold:q:n", arg)
+		}
+		q, err := strconv.Atoi(qStr)
+		if err != nil {
+			return plan.SystemSpec{}, fmt.Errorf("system %q: bad q: %w", arg, err)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			return plan.SystemSpec{}, fmt.Errorf("system %q: bad n: %w", arg, err)
+		}
+		return plan.SystemSpec{Family: "threshold", Q: q, N: n}, nil
+	}
+	param, err := strconv.Atoi(paramStr)
+	if err != nil {
+		return plan.SystemSpec{}, fmt.Errorf("system %q: bad parameter: %w", arg, err)
+	}
+	return plan.SystemSpec{Family: fam, Param: param}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quorumd:", err)
+	os.Exit(1)
+}

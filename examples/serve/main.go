@@ -1,0 +1,128 @@
+// Serve: the quorumd serving layer end to end, in one process. The
+// program starts a deployment manager (a 4×4 Grid on PlanetLab-50 with
+// LP strategies and placement-move hysteresis) behind the HTTP serving
+// layer, then plays a monitoring client against it: reading the current
+// versioned plan, posting demand telemetry and RTT probes as delta
+// batches, and long-polling for the next published version. Run a
+// standalone daemon with `go run ./cmd/quorumd` and the same requests
+// work over the wire.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	quorumnet "github.com/quorumnet/quorumnet"
+)
+
+func main() {
+	// --- daemon side -------------------------------------------------
+	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
+	p, err := quorumnet.NewPlanner(topo, quorumnet.PlannerConfig{
+		System:   quorumnet.SystemSpec{Family: "grid", Param: 4},
+		Strategy: quorumnet.StratLP,
+		Demand:   8000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := quorumnet.NewDeployment(p, quorumnet.DeployConfig{MoveCost: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(quorumnet.NewPlanServer(mgr, quorumnet.PlanServerOptions{}).Handler())
+	defer ts.Close()
+	fmt.Printf("quorumd serving at %s\n\n", ts.URL)
+
+	// --- client side -------------------------------------------------
+	var plan struct {
+		Version    uint64  `json:"version"`
+		System     string  `json:"system"`
+		ResponseMS float64 `json:"response_ms"`
+		Provenance struct {
+			Summary  string `json:"summary"`
+			Decision string `json:"decision"`
+		} `json:"provenance"`
+	}
+	get := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GET %-28s -> v%d %s response %.2fms [%s / %s]\n",
+			path, plan.Version, plan.System, plan.ResponseMS,
+			plan.Provenance.Summary, plan.Provenance.Decision)
+	}
+	post := func(deltas string) {
+		resp, err := http.Post(ts.URL+"/v1/deltas", "application/json",
+			bytes.NewReader([]byte(`{"deltas":[`+deltas+`]}`)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Version    uint64 `json:"version"`
+			Provenance struct {
+				Summary  string `json:"summary"`
+				Decision string `json:"decision"`
+			} `json:"provenance"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("POST deltas %-24s -> v%d [%s / %s]\n",
+			deltas[:min(24, len(deltas))], out.Version, out.Provenance.Summary, out.Provenance.Decision)
+	}
+
+	// The initial plan.
+	get("/v1/plan")
+
+	// Demand telemetry: the midday peak. Eval-only re-plan — the
+	// placement and LP strategy are reused untouched.
+	post(`{"kind":"demand","value":16000}`)
+
+	// A long-poll rides the version stream: it blocks until the next
+	// delta publishes a newer snapshot.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		get(fmt.Sprintf("/v1/plan?after=%d&timeout=10s", plan.Version+1))
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// An RTT probe reports a slow transatlantic link: topology re-closes
+	// and the hysteresis decides whether the placement move pays.
+	post(`{"kind":"rtt","a":"na-east-00","b":"europe-00","value":220}`)
+	<-done
+
+	// The re-plan history, newest first.
+	resp, err := http.Get(ts.URL + "/v1/history?limit=5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hist struct {
+		Snapshots []struct {
+			Version    uint64 `json:"version"`
+			Provenance struct {
+				Decision string `json:"decision"`
+			} `json:"provenance"`
+		} `json:"snapshots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhistory (newest first):")
+	for _, h := range hist.Snapshots {
+		fmt.Printf("  v%-3d %s\n", h.Version, h.Provenance.Decision)
+	}
+}

@@ -1,0 +1,475 @@
+// Package deploy is the online-adaptation layer between the staged
+// planner and the serving layer: a Manager owns one plan.Planner,
+// serializes delta ingestion (RTT probes, capacity changes, demand
+// telemetry, per-site demand weights) through a single apply loop, and
+// publishes each re-plan as an immutable plan.Snapshot behind an atomic
+// pointer, so readers are never blocked by an in-flight re-plan.
+//
+// Strategy- and evaluation-only re-plans are always taken — they are
+// free in the real world (clients just pick quorums differently). A
+// placement move is not: elements must migrate state across the WAN. The
+// manager therefore gates placement changes behind a migration cost
+// model: when a delta batch dirties the placement stage, it computes
+// both the candidate re-placement and the holdover (the previous
+// placement pinned on the new conditions, strategy re-optimized) and
+// moves only when the predicted response-time gain is at least
+// Config.MoveCost milliseconds. A held placement stays pinned on the
+// planner, so subsequent re-plans keep honoring the hold until a later
+// drift justifies the move.
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/quorumnet/quorumnet/internal/plan"
+)
+
+// Delta kinds accepted by the manager.
+const (
+	// KindRTT updates the raw round-trip time of one site pair (an RTT
+	// probe result): fields A, B, Value (ms).
+	KindRTT = "rtt"
+	// KindCapacity updates one site's capacity: fields Site, Value.
+	KindCapacity = "capacity"
+	// KindUniformCapacity sets every site's capacity: field Value.
+	KindUniformCapacity = "uniform-capacity"
+	// KindDemand re-targets the per-client demand: field Value.
+	KindDemand = "demand"
+	// KindWeights re-targets per-site demand weights (demand telemetry):
+	// field Weights, site name → relative weight, unlisted sites weigh 1;
+	// an empty map restores uniform demand.
+	KindWeights = "weights"
+)
+
+// Delta is one typed world change posted to the deployment. Exactly the
+// fields its Kind documents are meaningful; Validate rejects anything
+// malformed before the apply loop touches the planner.
+type Delta struct {
+	Kind string `json:"kind"`
+	// A, B name the site pair of an "rtt" delta.
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// Site names the site of a "capacity" delta.
+	Site string `json:"site,omitempty"`
+	// Value carries the milliseconds ("rtt"), capacity ("capacity",
+	// "uniform-capacity"), or per-client demand ("demand").
+	Value float64 `json:"value,omitempty"`
+	// Weights carries the per-site weights of a "weights" delta.
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// Validate checks the delta's shape (kind and values); site names are
+// resolved against the deployment at apply time.
+func (d Delta) Validate() error {
+	bad := func(format string, args ...interface{}) error {
+		return fmt.Errorf("deploy: %s delta: %s", d.Kind, fmt.Sprintf(format, args...))
+	}
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	switch d.Kind {
+	case KindRTT:
+		if d.A == "" || d.B == "" {
+			return bad("needs both site names a and b")
+		}
+		if d.A == d.B {
+			return bad("self-RTT for site %q", d.A)
+		}
+		if d.Value <= 0 || !finite(d.Value) {
+			return bad("invalid RTT %v ms", d.Value)
+		}
+	case KindCapacity:
+		if d.Site == "" {
+			return bad("needs a site name")
+		}
+		if d.Value <= 0 || !finite(d.Value) {
+			return bad("invalid capacity %v", d.Value)
+		}
+	case KindUniformCapacity:
+		if d.Value <= 0 || !finite(d.Value) {
+			return bad("invalid capacity %v", d.Value)
+		}
+	case KindDemand:
+		if d.Value < 0 || !finite(d.Value) {
+			return bad("invalid demand %v", d.Value)
+		}
+	case KindWeights:
+		for site, w := range d.Weights {
+			if w <= 0 || !finite(w) {
+				return bad("invalid weight %v for site %q", w, site)
+			}
+		}
+	case "":
+		return fmt.Errorf("deploy: delta kind missing")
+	default:
+		return fmt.Errorf("deploy: unknown delta kind %q", d.Kind)
+	}
+	return nil
+}
+
+// key identifies the state a delta overwrites, for coalescing.
+func (d Delta) key() string {
+	switch d.Kind {
+	case KindRTT:
+		a, b := d.A, d.B
+		if a > b {
+			a, b = b, a
+		}
+		return "rtt:" + a + "|" + b
+	case KindCapacity:
+		return "cap:" + d.Site
+	default:
+		return d.Kind
+	}
+}
+
+// supersedes reports whether applying d after e makes e's effect
+// unobservable, so e can be dropped from a batch.
+func (d Delta) supersedes(e Delta) bool {
+	if d.Kind == KindUniformCapacity && (e.Kind == KindCapacity || e.Kind == KindUniformCapacity) {
+		return true
+	}
+	return d.key() == e.key()
+}
+
+// Coalesce collapses a batch: each delta drops any earlier delta it
+// supersedes (same site pair's RTT, same site's capacity, the
+// deployment-wide demand/weights/uniform-capacity), preserving the order
+// — and therefore the final state — of the survivors.
+func Coalesce(ds []Delta) []Delta {
+	out := make([]Delta, 0, len(ds))
+	for _, d := range ds {
+		kept := out[:0]
+		for _, e := range out {
+			if !d.supersedes(e) {
+				kept = append(kept, e)
+			}
+		}
+		out = append(kept, d)
+	}
+	return out
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// MoveCost is the hysteresis threshold in milliseconds of predicted
+	// average response time: a placement move is taken only when it is
+	// predicted to win at least this much over keeping the old placement.
+	// Zero (or negative) disables hysteresis — every re-place is taken.
+	MoveCost float64
+	// HistoryLimit bounds the snapshot history ring (default 32).
+	HistoryLimit int
+	// RecordDeltas keeps the full applied-delta log in memory (DeltaLog),
+	// letting auditors replay any prefix; off by default because the log
+	// grows without bound on a long-lived deployment.
+	RecordDeltas bool
+}
+
+func (c Config) historyLimit() int {
+	if c.HistoryLimit <= 0 {
+		return 32
+	}
+	return c.HistoryLimit
+}
+
+// Entry is one published re-plan: the snapshot plus the manager-level
+// adaptation decision that produced it.
+type Entry struct {
+	// Snapshot is the immutable plan.
+	Snapshot *plan.Snapshot
+	// Decision records the adaptation outcome: "initial", "adopt (…)" for
+	// strategy/eval-only re-plans, "move (…)" or "hold (…)" for placement
+	// decisions.
+	Decision string
+	// Applied is the cumulative number of deltas applied when this entry
+	// was published (the prefix length of the delta log it corresponds
+	// to).
+	Applied int
+}
+
+// Manager owns one deployment: a planner, its published snapshot, and a
+// bounded history. All mutation is serialized through Apply; Current and
+// History never block on an in-flight re-plan.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex // serializes the apply loop (planner access)
+	p        *plan.Planner
+	applied  int
+	deltaLog []Delta
+
+	cur atomic.Pointer[Entry]
+
+	hmu     sync.Mutex // guards history and the notify channel
+	history []*Entry
+	notify  chan struct{}
+}
+
+// New wraps a planner (which must not be used elsewhere afterwards),
+// runs the initial plan, and publishes it as version 1.
+func New(p *plan.Planner, cfg Config) (*Manager, error) {
+	if p == nil {
+		return nil, fmt.Errorf("deploy: nil planner")
+	}
+	m := &Manager{cfg: cfg, p: p, notify: make(chan struct{})}
+	snap, err := p.Plan()
+	if err != nil {
+		return nil, fmt.Errorf("deploy: initial plan: %w", err)
+	}
+	m.publish(&Entry{Snapshot: snap, Decision: "initial"})
+	return m, nil
+}
+
+// Current returns the latest published entry without blocking: an
+// in-flight Apply keeps serving the previous snapshot until its re-plan
+// commits.
+func (m *Manager) Current() *Entry { return m.cur.Load() }
+
+// History returns the retained entries, oldest first (bounded by
+// Config.HistoryLimit). The slice is a copy; entries are immutable.
+func (m *Manager) History() []*Entry {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	return append([]*Entry(nil), m.history...)
+}
+
+// DeltaLog returns a copy of the applied-delta log (empty unless
+// Config.RecordDeltas). Entry.Applied indexes prefixes of this log.
+func (m *Manager) DeltaLog() []Delta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Delta(nil), m.deltaLog...)
+}
+
+// Wait blocks until an entry with version greater than after is
+// published, then returns it. On context cancellation it returns the
+// current entry and the context's error — a long-poll timeout serves
+// whatever is current.
+func (m *Manager) Wait(ctx context.Context, after uint64) (*Entry, error) {
+	for {
+		e := m.Current()
+		if e.Snapshot.Version > after {
+			return e, nil
+		}
+		m.hmu.Lock()
+		ch := m.notify
+		m.hmu.Unlock()
+		// Re-check: a publish may have landed between the load and the
+		// channel fetch; the freshly fetched channel only signals
+		// publishes after it was installed.
+		if e2 := m.Current(); e2.Snapshot.Version > after {
+			return e2, nil
+		}
+		select {
+		case <-ctx.Done():
+			return m.Current(), ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// publish stores the entry, pushes it onto the history ring, and wakes
+// every waiter.
+func (m *Manager) publish(e *Entry) {
+	m.cur.Store(e)
+	m.hmu.Lock()
+	m.history = append(m.history, e)
+	if limit := m.cfg.historyLimit(); len(m.history) > limit {
+		m.history = append(m.history[:0:0], m.history[len(m.history)-limit:]...)
+	}
+	close(m.notify)
+	m.notify = make(chan struct{})
+	m.hmu.Unlock()
+}
+
+// ErrReplan marks an Apply error raised after the batch was applied:
+// the deltas are in force (the world changed), but no feasible plan
+// exists for them yet — e.g. the strategy LP went infeasible under the
+// new capacities. The previous snapshot keeps being served until a
+// later batch re-plans successfully.
+var ErrReplan = fmt.Errorf("deploy: re-plan failed")
+
+// Apply coalesces and applies one batch of deltas, re-plans, and
+// publishes the resulting snapshot. The batch is validated up front
+// (shape and site names), so a malformed batch is rejected without
+// touching the deployment; an error wrapping ErrReplan means the batch
+// WAS applied but planning it failed. A batch that dirties nothing new
+// returns the current entry without publishing a new version.
+func (m *Manager) Apply(deltas []Delta) (*Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	batch := Coalesce(deltas)
+	for _, d := range batch {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		for _, site := range d.sites() {
+			if m.p.SiteIndex(site) < 0 {
+				return nil, fmt.Errorf("deploy: %s delta: no site named %q", d.Kind, site)
+			}
+		}
+	}
+	before := m.p.PendingDeltas()
+	for _, d := range batch {
+		if err := d.applyTo(m.p); err != nil {
+			return nil, fmt.Errorf("deploy: applying %s delta: %w", d.Kind, err)
+		}
+	}
+	m.applied += len(batch)
+	if m.cfg.RecordDeltas {
+		m.deltaLog = append(m.deltaLog, batch...)
+	}
+
+	// Publish only when the batch changed something. Leftover dirt from
+	// a previous move decision (the planner lazily reconstructs the
+	// already-published candidate placement) does not warrant a version,
+	// so the planner's effective-mutation count — not its dirty flags —
+	// is the signal.
+	if m.p.PendingDeltas() == before {
+		return m.Current(), nil
+	}
+	entry, err := m.replan()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrReplan, err)
+	}
+	entry.Applied = m.applied
+	m.publish(entry)
+	return entry, nil
+}
+
+// replan runs the adaptation policy: free re-plans pass straight
+// through; placement-dirtying batches run the move-vs-hold comparison.
+// Called with mu held.
+func (m *Manager) replan() (*Entry, error) {
+	prev := m.Current().Snapshot
+
+	if !m.p.Dirty(plan.StagePlacement) {
+		// Strategy/eval-only: always taken. A pinned hold stays pinned.
+		snap, err := m.p.Plan()
+		if err != nil {
+			return nil, err
+		}
+		return &Entry{Snapshot: snap, Decision: "adopt (" + snap.Provenance.Summary() + ")"}, nil
+	}
+
+	// The batch dirtied the placement. Compute the candidate
+	// re-placement first (clearing any standing hold so the construction
+	// actually runs).
+	m.p.ClearPlacementPin()
+	cand, err := m.p.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.MoveCost <= 0 {
+		return &Entry{Snapshot: cand, Decision: "move (no hysteresis)"}, nil
+	}
+	prevTargets, ok := mapTargets(prev, m.p)
+	if !ok {
+		return &Entry{Snapshot: cand, Decision: "move (forced: previous placement lost a site)"}, nil
+	}
+	if slices.Equal(cand.Placement.Targets(), prevTargets) {
+		return &Entry{Snapshot: cand, Decision: "adopt (placement unchanged)"}, nil
+	}
+
+	// Holdover: previous placement pinned on the new conditions, with
+	// the strategy re-optimized for it.
+	if err := m.p.PinPlacement(prevTargets); err != nil {
+		return &Entry{Snapshot: cand, Decision: "move (forced: " + err.Error() + ")"}, nil
+	}
+	hold, err := m.p.Plan()
+	if err != nil {
+		// The old placement is no longer feasible (e.g. the strategy LP
+		// went infeasible under it): the move is forced.
+		m.p.ClearPlacementPin()
+		if _, rerr := m.p.Plan(); rerr != nil {
+			return nil, rerr
+		}
+		return &Entry{Snapshot: cand, Decision: "move (forced: holdover infeasible)"}, nil
+	}
+	gain := hold.Response - cand.Response
+	if gain >= m.cfg.MoveCost {
+		// Unpin; the next Plan lazily reconstructs the candidate
+		// placement (the construction is deterministic).
+		m.p.ClearPlacementPin()
+		return &Entry{
+			Snapshot: cand,
+			Decision: fmt.Sprintf("move (gain %.2fms >= cost %.2fms)", gain, m.cfg.MoveCost),
+		}, nil
+	}
+	// The candidate plan consumed the batch's provenance deltas; the
+	// published hold must carry them (its own plan only saw the
+	// internal pin), so publish a copy with the candidate's delta log.
+	hs := *hold
+	hs.Provenance.Deltas = cand.Provenance.Deltas
+	return &Entry{
+		Snapshot: &hs,
+		Decision: fmt.Sprintf("hold (gain %.2fms < cost %.2fms)", gain, m.cfg.MoveCost),
+	}, nil
+}
+
+// mapTargets translates a snapshot's placement into the planner's
+// current site indices by site name; ok is false when a hosting site no
+// longer exists.
+func mapTargets(snap *plan.Snapshot, p *plan.Planner) ([]int, bool) {
+	targets := snap.Placement.Targets()
+	out := make([]int, len(targets))
+	for u, w := range targets {
+		idx := p.SiteIndex(snap.Topology.Site(w).Name)
+		if idx < 0 {
+			return nil, false
+		}
+		out[u] = idx
+	}
+	return out, true
+}
+
+// sites lists the site names a delta references (for validation).
+func (d Delta) sites() []string {
+	switch d.Kind {
+	case KindRTT:
+		return []string{d.A, d.B}
+	case KindCapacity:
+		return []string{d.Site}
+	case KindWeights:
+		names := make([]string, 0, len(d.Weights))
+		for site := range d.Weights {
+			names = append(names, site)
+		}
+		sort.Strings(names)
+		return names
+	}
+	return nil
+}
+
+// applyTo mutates the planner with the (already validated) delta.
+func (d Delta) applyTo(p *plan.Planner) error {
+	switch d.Kind {
+	case KindRTT:
+		return p.SetRTT(p.SiteIndex(d.A), p.SiteIndex(d.B), d.Value)
+	case KindCapacity:
+		return p.SetSiteCapacity(p.SiteIndex(d.Site), d.Value)
+	case KindUniformCapacity:
+		return p.SetUniformCapacity(d.Value)
+	case KindDemand:
+		return p.SetDemand(d.Value)
+	case KindWeights:
+		if len(d.Weights) == 0 {
+			return p.SetClientWeights(nil)
+		}
+		w := make([]float64, p.Size())
+		for i := range w {
+			w[i] = 1
+		}
+		for site, weight := range d.Weights {
+			w[p.SiteIndex(site)] = weight
+		}
+		return p.SetClientWeights(w)
+	default:
+		return fmt.Errorf("unknown kind %q", d.Kind)
+	}
+}

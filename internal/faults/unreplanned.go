@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+)
+
+// Unreplanned evaluates a deployment that does NOT re-plan around a node
+// failure: the placement stays where it was (elements on failed nodes
+// simply die), and each surviving client keeps its access strategy,
+// renormalized over the quorums that survive. This is the counterfactual
+// the planner-level fault comparison reports: the response time a
+// deployment pays for keeping its pre-failure plan, side by side with
+// the re-planned one.
+//
+// The closest and balanced strategies adapt to the survivor system by
+// definition and pass through unchanged; an explicit (LP-optimized)
+// strategy is projected: each client's probability mass on dead quorums
+// is redistributed proportionally over its surviving quorums, and a
+// client whose entire mass died falls back to the balanced strategy over
+// the survivors. Client demand weights carry over to the surviving
+// clients. Returns quorum.ErrNoQuorumSurvives (wrapped) when the failure
+// kills every quorum.
+func Unreplanned(e *core.Eval, s core.Strategy, failedNodes []int) (*core.Eval, core.Strategy, error) {
+	fe, err := Apply(e, failedNodes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Carry the surviving clients' demand weights over (Apply resets the
+	// client set, which drops positional weights).
+	w := make([]float64, len(fe.Clients))
+	for k, v := range fe.Clients {
+		w[k] = e.ClientWeight(v)
+	}
+	if err := fe.SetClientWeights(w); err != nil {
+		return nil, nil, err
+	}
+
+	es, ok := s.(*core.ExplicitStrategy)
+	if !ok {
+		return fe, s, nil
+	}
+	rs, err := restrictExplicit(e, es, fe, failedNodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fe, rs, nil
+}
+
+// restrictExplicit projects an explicit strategy from e onto the
+// survivor evaluation fe. Quorums are matched by element identity (the
+// survivor system re-indexes its universe), so the projection is
+// independent of enumeration order.
+func restrictExplicit(e *core.Eval, s *core.ExplicitStrategy, fe *core.Eval, failedNodes []int) (*core.ExplicitStrategy, error) {
+	if !e.Sys.Enumerable() || !fe.Sys.Enumerable() {
+		return nil, fmt.Errorf("faults: cannot project an explicit strategy over non-enumerable system %s", e.Sys.Name())
+	}
+	failed := make([]bool, e.Topo.Size())
+	for _, n := range failedNodes {
+		failed[n] = true
+	}
+	deadElem := make([]bool, e.F.UniverseSize())
+	var alive []int // survivor element id → original element id
+	for u := 0; u < e.F.UniverseSize(); u++ {
+		if failed[e.F.Node(u)] {
+			deadElem[u] = true
+		} else {
+			alive = append(alive, u)
+		}
+	}
+
+	// Index the original system's surviving quorums by their (sorted)
+	// original element sets.
+	key := func(elems []int) string {
+		sorted := append([]int(nil), elems...)
+		sort.Ints(sorted)
+		return fmt.Sprint(sorted)
+	}
+	origIdx := make(map[string]int)
+	for i := 0; i < e.Sys.NumQuorums(); i++ {
+		q := e.Sys.Quorum(i)
+		ok := true
+		for _, u := range q {
+			if deadElem[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			origIdx[key(q)] = i
+		}
+	}
+
+	// Map each survivor quorum back to its original index.
+	m := fe.Sys.NumQuorums()
+	back := make([]int, m)
+	for j := 0; j < m; j++ {
+		q := fe.Sys.Quorum(j)
+		orig := make([]int, len(q))
+		for t, u := range q {
+			orig[t] = alive[u]
+		}
+		i, ok := origIdx[key(orig)]
+		if !ok {
+			return nil, fmt.Errorf("faults: survivor quorum %v has no pre-failure counterpart", orig)
+		}
+		back[j] = i
+	}
+
+	// Project each surviving client's row and renormalize.
+	clientPos := make(map[int]int, len(e.Clients))
+	for k, v := range e.Clients {
+		clientPos[v] = k
+	}
+	uniform := 1 / float64(m)
+	rows := make([][]float64, len(fe.Clients))
+	for k, v := range fe.Clients {
+		ki, found := clientPos[v]
+		if !found {
+			return nil, fmt.Errorf("faults: surviving client %d was not a client before the failure", v)
+		}
+		old := s.Probs[ki]
+		row := make([]float64, m)
+		sum := 0.0
+		for j := 0; j < m; j++ {
+			row[j] = old[back[j]]
+			sum += row[j]
+		}
+		if sum <= 1e-12 {
+			// The client's entire mass died with the failure: balanced
+			// fallback over the survivors.
+			for j := range row {
+				row[j] = uniform
+			}
+		} else {
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+		rows[k] = row
+	}
+	label := s.Name()
+	if label == "" {
+		label = "explicit"
+	}
+	return &core.ExplicitStrategy{Probs: rows, Label: label + "-unreplanned"}, nil
+}

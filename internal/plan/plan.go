@@ -26,6 +26,15 @@
 // deltas followed by Plan is equivalent to a cold plan of the final
 // inputs — a property the package's tests assert for random delta
 // sequences at every worker count.
+//
+// Each Plan call publishes an immutable, versioned Snapshot: deep-copied
+// artifacts, the evaluation measures, and a Provenance recording which
+// stages re-ran and which deltas drove them. Snapshots are what the
+// deployment-manager and serving layers (internal/deploy,
+// internal/serve) hand to concurrent readers. PinPlacement forces the
+// placement stage to explicit targets — the hook the deployment layer's
+// migration hysteresis uses to hold a placement whose replacement is not
+// worth its move cost.
 package plan
 
 import (

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/graph"
@@ -27,7 +28,18 @@ type Planner struct {
 	alpha   float64
 	weights []float64 // nil = uniform client demand
 
+	// pin forces the placement stage to these element→site targets
+	// instead of running the construction algorithm (nil = construct).
+	pin []int
+
 	dirty [numStages]bool
+
+	// version counts Plan calls; pending logs the deltas applied since
+	// the last Plan for the next snapshot's provenance (pendingDropped
+	// counts overflow past the note cap).
+	version        uint64
+	pending        []string
+	pendingDropped int
 
 	// Stage artifacts.
 	topo  *topology.Topology
@@ -38,38 +50,6 @@ type Planner struct {
 	optOK bool // LP skeleton matches (topology, system, placement, weights)
 	lpRes *strategy.Result
 	strat core.Strategy
-}
-
-// Result is the output of one Plan call: the stage artifacts and the
-// evaluation measures. Topology and System are live views owned by the
-// planner; treat them as read-only.
-type Result struct {
-	Topology  *topology.Topology
-	System    quorum.System
-	Placement core.Placement
-	Strategy  core.Strategy
-	// LP carries the access-strategy LP solution when Config.Strategy is
-	// "lp" (nil otherwise).
-	LP *strategy.Result
-	// Alpha is the load-to-delay factor the measures below used.
-	Alpha float64
-	// Response is avg_v Δ_f(v) with Alpha; NetDelay the same with α = 0;
-	// MaxLoad the largest per-node load under the strategy.
-	Response float64
-	NetDelay float64
-	MaxLoad  float64
-	// Recomputed lists the stages this Plan call actually re-ran, in
-	// pipeline order — empty when nothing was dirty.
-	Recomputed []Stage
-}
-
-// RecomputedNames returns the recomputed stage names (for tables/logs).
-func (r *Result) RecomputedNames() []string {
-	out := make([]string, len(r.Recomputed))
-	for i, s := range r.Recomputed {
-		out[i] = s.String()
-	}
-	return out
 }
 
 // New builds a planner over a starting topology. The topology is deep-
@@ -164,6 +144,7 @@ func (p *Planner) SetRTT(u, v int, ms float64) error {
 		return nil
 	}
 	p.raw.Set(u, v, ms)
+	p.note("rtt %s~%s=%.3gms", p.sites[u].Name, p.sites[v].Name, ms)
 	p.invalidateTopology()
 	return nil
 }
@@ -178,6 +159,36 @@ func (p *Planner) SetSiteCapacity(v int, c float64) error {
 	if err := p.checkSite(v); err != nil {
 		return err
 	}
+	old := p.caps[v]
+	if err := p.setSiteCapacity(v, c); err != nil {
+		return err
+	}
+	if old != c {
+		p.note("capacity %s=%.3g", p.sites[v].Name, c)
+	}
+	return nil
+}
+
+// SetUniformCapacity sets every site's capacity to c.
+func (p *Planner) SetUniformCapacity(c float64) error {
+	changed := false
+	for v := range p.caps {
+		old := p.caps[v]
+		if err := p.setSiteCapacity(v, c); err != nil {
+			return err
+		}
+		if old != c {
+			changed = true
+		}
+	}
+	if changed {
+		p.note("uniform-capacity=%.3g", c)
+	}
+	return nil
+}
+
+// setSiteCapacity is SetSiteCapacity without the provenance note.
+func (p *Planner) setSiteCapacity(v int, c float64) error {
 	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 		return fmt.Errorf("plan: invalid capacity %v for site %d", c, v)
 	}
@@ -194,19 +205,13 @@ func (p *Planner) SetSiteCapacity(v int, c float64) error {
 	return nil
 }
 
-// SetUniformCapacity sets every site's capacity to c.
-func (p *Planner) SetUniformCapacity(c float64) error {
-	for v := range p.caps {
-		if err := p.SetSiteCapacity(v, c); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // capacityAffectsPlacement reports whether a capacity change old→new at
 // one site can alter the placement stage's output.
 func (p *Planner) capacityAffectsPlacement(old, new float64) bool {
+	if p.pin != nil {
+		// A pinned placement is forced regardless of capacities.
+		return false
+	}
 	switch p.cfg.algorithm() {
 	case AlgoSingleton:
 		// The median ignores capacities.
@@ -240,6 +245,7 @@ func (p *Planner) SetDemand(demand float64) error {
 		return nil
 	}
 	p.alpha = alpha
+	p.note("demand=%.6g", demand)
 	p.invalidateEval()
 	return nil
 }
@@ -261,6 +267,11 @@ func (p *Planner) SetClientWeights(weights []float64) error {
 		weights = append([]float64(nil), weights...)
 	}
 	p.weights = weights
+	if weights == nil {
+		p.note("weights=uniform")
+	} else {
+		p.note("weights=per-site")
+	}
 	// Weights enter the LP coefficients, not just the RHS: drop the
 	// skeleton.
 	p.invalidateStrategy(false)
@@ -278,6 +289,7 @@ func (p *Planner) SetSystem(spec SystemSpec) error {
 		return fmt.Errorf("plan: strategy %q needs an enumerable system, got %s", StratLP, sys.Name())
 	}
 	p.cfg.System = spec
+	p.note("system=%s/%d", spec.Family, spec.Param)
 	p.invalidateSystem()
 	return nil
 }
@@ -317,6 +329,8 @@ func (p *Planner) AddSite(site topology.Site, rtts []float64, capacity float64) 
 	p.sites = append(p.sites, site)
 	p.caps = append(p.caps, capacity)
 	p.weights = nil
+	p.pin = nil // pin targets index the old site set
+	p.note("add-site %s", site.Name)
 	p.invalidateTopology()
 	return nil
 }
@@ -356,12 +370,86 @@ func (p *Planner) RemoveSite(name string) error {
 	p.sites = append(p.sites[:v:v], p.sites[v+1:]...)
 	p.caps = append(p.caps[:v:v], p.caps[v+1:]...)
 	p.weights = nil
+	p.pin = nil // pin targets index the old site set
+	p.note("remove-site %s", name)
 	p.invalidateTopology()
 	return nil
 }
 
+// PinPlacement forces the placement stage to the given element→site
+// targets: the next Plan (and every one after, until the pin is cleared
+// or site membership changes) skips the construction algorithm and
+// evaluates this exact placement. The deployment layer uses pins to hold
+// a placement in place when a re-place's predicted gain does not justify
+// the migration cost. Targets are validated against the current site set
+// here and against the system's universe at Plan time; capacity
+// eligibility is deliberately not enforced — a pin is an override.
+func (p *Planner) PinPlacement(targets []int) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("plan: empty placement pin")
+	}
+	for _, w := range targets {
+		if w < 0 || w >= len(p.sites) {
+			return fmt.Errorf("plan: pin target %d out of range [0,%d)", w, len(p.sites))
+		}
+	}
+	targets = append([]int(nil), targets...)
+	if p.pin != nil && slices.Equal(p.pin, targets) {
+		return nil
+	}
+	p.pin = targets
+	p.note("pin-placement")
+	p.invalidatePlacement()
+	return nil
+}
+
+// ClearPlacementPin restores the construction algorithm; the next Plan
+// re-places from scratch.
+func (p *Planner) ClearPlacementPin() {
+	if p.pin == nil {
+		return
+	}
+	p.pin = nil
+	p.note("unpin-placement")
+	p.invalidatePlacement()
+}
+
+// PlacementPinned reports whether a pin is in force.
+func (p *Planner) PlacementPinned() bool { return p.pin != nil }
+
 // Dirty reports whether the stage would be recomputed by the next Plan.
 func (p *Planner) Dirty(s Stage) bool { return p.dirty[s] }
+
+// AnyDirty reports whether the next Plan would recompute anything.
+func (p *Planner) AnyDirty() bool {
+	for s := Stage(0); s < numStages; s++ {
+		if p.dirty[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Version returns the version of the most recent Plan (0 before the
+// first).
+func (p *Planner) Version() uint64 { return p.version }
+
+// PendingDeltas counts the effective mutations applied since the last
+// Plan (value no-ops do not count) — the deployment layer's signal for
+// whether a batch changed anything.
+func (p *Planner) PendingDeltas() int { return len(p.pending) + p.pendingDropped }
+
+// note logs one applied delta for the next snapshot's provenance,
+// capping the log so an unbounded delta stream cannot grow a snapshot;
+// overflow is summarized as a trailing "… (+N more)" at Plan time.
+func (p *Planner) note(format string, args ...interface{}) {
+	const maxNotes = 64
+	if len(p.pending) >= maxNotes {
+		p.pendingDropped++
+		return
+	}
+	p.pending = append(p.pending, fmt.Sprintf(format, args...))
+}
 
 func (p *Planner) checkSite(v int) error {
 	if v < 0 || v >= len(p.sites) {
@@ -399,9 +487,11 @@ func (p *Planner) invalidateStrategy(keepSkeleton bool) {
 func (p *Planner) invalidateEval() { p.dirty[StageEval] = true }
 
 // Plan brings every stage up to date, recomputing only what the deltas
-// since the previous Plan invalidated, and returns the refreshed
-// artifacts and measures.
-func (p *Planner) Plan() (*Result, error) {
+// since the previous Plan invalidated, and publishes the result as an
+// immutable, versioned Snapshot. The snapshot owns deep copies of
+// everything the planner later mutates, so it can be handed to
+// concurrent readers while the planner keeps absorbing deltas.
+func (p *Planner) Plan() (*Snapshot, error) {
 	var recomputed []Stage
 
 	if p.dirty[StageTopology] {
@@ -469,24 +559,41 @@ func (p *Planner) Plan() (*Result, error) {
 		recomputed = append(recomputed, StageEval)
 	}
 	// The measures are cheap relative to the stages above; recompute them
-	// whenever anything was dirty so Result is always self-consistent.
+	// whenever anything was dirty so the snapshot is always
+	// self-consistent.
 	p.eval.Alpha = p.alpha
-	res := &Result{
-		Topology:   p.topo,
-		System:     p.sys,
-		Placement:  p.f,
-		Strategy:   p.strat,
-		LP:         p.lpRes,
-		Alpha:      p.alpha,
-		Response:   p.eval.AvgResponseTime(p.strat),
-		NetDelay:   p.eval.AvgNetworkDelay(p.strat),
-		MaxLoad:    p.eval.MaxNodeLoad(p.strat),
-		Recomputed: recomputed,
+	p.version++
+	deltas := p.pending
+	if p.pendingDropped > 0 {
+		deltas = append(deltas, fmt.Sprintf("… (+%d more)", p.pendingDropped))
 	}
+	snap := &Snapshot{
+		Version:   p.version,
+		Topology:  p.topo.Clone(),
+		System:    p.sys,
+		Placement: p.f,
+		Strategy:  p.strat,
+		LP:        p.lpRes,
+		Alpha:     p.alpha,
+		Demand:    p.alpha / core.OpServiceTimeMS,
+		Weights:   append([]float64(nil), p.weights...),
+		Response:  p.eval.AvgResponseTime(p.strat),
+		NetDelay:  p.eval.AvgNetworkDelay(p.strat),
+		MaxLoad:   p.eval.MaxNodeLoad(p.strat),
+		Provenance: Provenance{
+			Recomputed: recomputed,
+			Deltas:     deltas,
+			Pinned:     p.pin != nil,
+		},
+	}
+	if len(snap.Weights) == 0 {
+		snap.Weights = nil
+	}
+	p.pending, p.pendingDropped = nil, 0
 	for s := Stage(0); s < numStages; s++ {
 		p.dirty[s] = false
 	}
-	return res, nil
+	return snap, nil
 }
 
 // Eval exposes the internal evaluator for read-only composition (e.g.
@@ -495,6 +602,13 @@ func (p *Planner) Plan() (*Result, error) {
 func (p *Planner) Eval() *core.Eval { return p.eval }
 
 func (p *Planner) computePlacement() (core.Placement, error) {
+	if p.pin != nil {
+		if len(p.pin) != p.sys.UniverseSize() {
+			return core.Placement{}, fmt.Errorf("pinned placement covers %d elements but %s has %d",
+				len(p.pin), p.sys.Name(), p.sys.UniverseSize())
+		}
+		return core.NewPlacement(p.pin, p.topo)
+	}
 	opts := placement.Options{Workers: p.cfg.Workers, Candidates: p.cfg.Candidates}
 	switch p.cfg.algorithm() {
 	case AlgoSingleton:

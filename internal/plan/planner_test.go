@@ -31,7 +31,7 @@ func smallTopo(t testing.TB) *topology.Topology {
 	return topo
 }
 
-func mustPlan(t *testing.T, p *Planner) *Result {
+func mustPlan(t *testing.T, p *Planner) *Snapshot {
 	t.Helper()
 	res, err := p.Plan()
 	if err != nil {
@@ -40,11 +40,11 @@ func mustPlan(t *testing.T, p *Planner) *Result {
 	return res
 }
 
-func stageNames(res *Result) string { return fmt.Sprint(res.RecomputedNames()) }
+func stageNames(res *Snapshot) string { return fmt.Sprint(res.RecomputedNames()) }
 
 // tryPlan plans, tolerating LP infeasibility (a legitimate outcome of a
 // random capacity sequence) and failing the test on any other error.
-func tryPlan(t *testing.T, p *Planner) (*Result, error) {
+func tryPlan(t *testing.T, p *Planner) (*Snapshot, error) {
 	t.Helper()
 	res, err := p.Plan()
 	if err != nil && !errors.Is(err, lp.ErrInfeasible) {
@@ -72,7 +72,7 @@ func TestDirtyTracking(t *testing.T) {
 	}
 
 	res = mustPlan(t, p)
-	if len(res.Recomputed) != 0 {
+	if len(res.Provenance.Recomputed) != 0 {
 		t.Fatalf("no-delta plan recomputed %v, want nothing", stageNames(res))
 	}
 
@@ -221,7 +221,7 @@ func TestReplanEquivalence(t *testing.T) {
 
 				var trace []string
 				rngCold := rand.New(rand.NewSource(int64(workers) * 977))
-				var incRes *Result
+				var incRes *Snapshot
 				var incErr error
 				for i := 0; i < deltas; i++ {
 					trace = append(trace, applyRandomDelta(t, rng, inc, tc.churn))
@@ -335,7 +335,208 @@ func TestPlannerValidation(t *testing.T) {
 	}
 	if res, err := p.Plan(); err != nil {
 		t.Fatal(err)
-	} else if len(res.Recomputed) != 5 {
+	} else if len(res.Provenance.Recomputed) != 5 {
 		t.Fatalf("first plan recomputed %v", res.RecomputedNames())
+	}
+}
+
+// TestSnapshotVersioningAndProvenance checks the snapshot contract:
+// versions increase by one per Plan, provenance records the deltas that
+// drove the re-plan, and the summary labels match the stage sets.
+func TestSnapshotVersioningAndProvenance(t *testing.T) {
+	topo := smallTopo(t)
+	p, err := New(topo, Config{
+		System:   SystemSpec{Family: "grid", Param: 3},
+		Strategy: StratLP,
+		Demand:   4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustPlan(t, p)
+	if s1.Version != 1 || !s1.Provenance.Cold() || s1.Provenance.Summary() != "cold" {
+		t.Fatalf("cold snapshot: version %d, provenance %+v", s1.Version, s1.Provenance)
+	}
+	if err := p.SetDemand(16000); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustPlan(t, p)
+	if s2.Version != 2 || !s2.Provenance.EvalOnly() || s2.Provenance.Summary() != "eval-only" {
+		t.Fatalf("demand snapshot: version %d, provenance %+v", s2.Version, s2.Provenance)
+	}
+	if len(s2.Provenance.Deltas) != 1 || s2.Provenance.Deltas[0] != "demand=16000" {
+		t.Fatalf("demand snapshot deltas %v", s2.Provenance.Deltas)
+	}
+	if s2.Demand != 16000 {
+		t.Fatalf("snapshot demand %v, want 16000", s2.Demand)
+	}
+	s3 := mustPlan(t, p)
+	if s3.Version != 3 || s3.Provenance.Summary() != "none" || len(s3.Provenance.Deltas) != 0 {
+		t.Fatalf("no-op snapshot: version %d, provenance %+v", s3.Version, s3.Provenance)
+	}
+}
+
+// TestSnapshotImmutable checks that later deltas do not reach into an
+// already-published snapshot: its topology keeps the capacities and
+// sites of its plan.
+func TestSnapshotImmutable(t *testing.T) {
+	topo := smallTopo(t)
+	p, err := New(topo, Config{System: SystemSpec{Family: "grid", Param: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustPlan(t, p)
+	oldCap := s1.Topology.Capacity(0)
+	oldSize := s1.Topology.Size()
+	if err := p.SetSiteCapacity(0, oldCap*2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveSite(p.Site(p.Size() - 1).Name); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustPlan(t, p)
+	if s1.Topology.Capacity(0) != oldCap {
+		t.Errorf("published snapshot capacity mutated: %v -> %v", oldCap, s1.Topology.Capacity(0))
+	}
+	if s1.Topology.Size() != oldSize {
+		t.Errorf("published snapshot size mutated: %v -> %v", oldSize, s1.Topology.Size())
+	}
+	if s2.Topology.Size() != oldSize-1 || s2.Topology.Capacity(0) != oldCap*2 {
+		t.Errorf("new snapshot missed the deltas: size %d cap %v", s2.Topology.Size(), s2.Topology.Capacity(0))
+	}
+}
+
+// TestPinPlacement checks the deployment layer's hold primitive: a pin
+// survives re-plans that would otherwise move the placement, pinned
+// capacity deltas never dirty the placement stage, and clearing the pin
+// re-runs the construction.
+func TestPinPlacement(t *testing.T) {
+	topo := smallTopo(t)
+	p, err := New(topo, Config{
+		System:   SystemSpec{Family: "grid", Param: 3},
+		Strategy: StratLP,
+		Demand:   8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustPlan(t, p)
+	pinned := s1.Placement.Targets()
+	if err := p.PinPlacement(pinned); err != nil {
+		t.Fatal(err)
+	}
+
+	// A drastic RTT change re-closes the topology; without the pin the
+	// construction could move, but the pinned targets must hold.
+	for v := 1; v < p.Size(); v++ {
+		if err := p.SetRTT(0, v, p.RTT(0, v)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustPlan(t, p)
+	if !reflect.DeepEqual(s2.Placement.Targets(), pinned) {
+		t.Fatalf("pinned placement moved: %v -> %v", pinned, s2.Placement.Targets())
+	}
+	if !s2.Provenance.Pinned {
+		t.Error("pinned snapshot not flagged in provenance")
+	}
+
+	// Capacity deltas on a pinned planner can never dirty the placement.
+	if err := p.SetSiteCapacity(pinned[0], 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dirty(StagePlacement) {
+		t.Error("capacity delta dirtied a pinned placement")
+	}
+	if _, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clearing the pin re-runs the construction under the new metric —
+	// the same result as a cold plan of the current inputs.
+	p.ClearPlacementPin()
+	s3, err3 := tryPlan(t, p)
+	cold, err := New(topo, Config{
+		System:   SystemSpec{Family: "grid", Param: 3},
+		Strategy: StratLP,
+		Demand:   8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < cold.Size(); v++ {
+		if err := cold.SetRTT(0, v, cold.RTT(0, v)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cold.SetSiteCapacity(pinned[0], 0.05); err != nil {
+		t.Fatal(err)
+	}
+	coldRes, coldErr := tryPlan(t, cold)
+	if (err3 == nil) != (coldErr == nil) {
+		t.Fatalf("unpinned err %v, cold err %v", err3, coldErr)
+	}
+	if err3 == nil && !reflect.DeepEqual(s3.Placement.Targets(), coldRes.Placement.Targets()) {
+		t.Fatalf("unpinned placement %v != cold %v", s3.Placement.Targets(), coldRes.Placement.Targets())
+	}
+
+	// Membership changes drop the pin (targets index the old site set).
+	if err := p.PinPlacement(s3.Placement.Targets()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveSite(p.Site(p.Size() - 1).Name); err != nil {
+		t.Fatal(err)
+	}
+	if p.PlacementPinned() {
+		t.Error("pin survived a membership change")
+	}
+
+	// Pin validation.
+	if err := p.PinPlacement(nil); err == nil {
+		t.Error("empty pin accepted")
+	}
+	if err := p.PinPlacement([]int{-1, 0, 1, 2, 3, 4, 5, 6, 7}); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+}
+
+// TestProvenanceHygiene: rejected deltas never reach the provenance
+// log, and overflow is summarized with a count.
+func TestProvenanceHygiene(t *testing.T) {
+	topo := smallTopo(t)
+	p, err := New(topo, Config{System: SystemSpec{Family: "grid", Param: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetSiteCapacity(0, -5); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if err := p.SetUniformCapacity(math.NaN()); err == nil {
+		t.Fatal("NaN capacity accepted")
+	}
+	if got := p.PendingDeltas(); got != 0 {
+		t.Fatalf("rejected deltas logged: %d pending", got)
+	}
+	snap := mustPlan(t, p)
+	if len(snap.Provenance.Deltas) != 0 {
+		t.Fatalf("rejected deltas in provenance: %v", snap.Provenance.Deltas)
+	}
+
+	// Overflow: more than 64 effective deltas summarize as "+N more".
+	for i := 0; i < 70; i++ {
+		if err := p.SetRTT(0, 1, 100+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap = mustPlan(t, p)
+	ds := snap.Provenance.Deltas
+	if len(ds) != 65 {
+		t.Fatalf("overflowed delta log has %d entries, want 64 + marker", len(ds))
+	}
+	if ds[64] != "… (+6 more)" {
+		t.Fatalf("overflow marker %q, want \"… (+6 more)\"", ds[64])
 	}
 }

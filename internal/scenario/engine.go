@@ -751,19 +751,27 @@ func runTimeline(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) 
 	}
 
 	tb.Columns = []string{"step", "sites", "response_ms", "net_delay_ms", "max_load", "replanned"}
-	addRow := func(label string, res *plan.Result) {
+	if spec.CompareUnreplanned {
+		tb.Columns = append(tb.Columns, "unreplanned_ms")
+	}
+	addRow := func(label string, res *plan.Snapshot, unreplanned string) {
 		replanned := strings.Join(res.RecomputedNames(), ",")
 		if replanned == "" {
 			replanned = "-"
 		}
-		tb.AddRow(label, itoa(p.Size()), f2(res.Response), f2(res.NetDelay), f3(res.MaxLoad), replanned)
+		row := []string{label, itoa(p.Size()), f2(res.Response), f2(res.NetDelay), f3(res.MaxLoad), replanned}
+		if spec.CompareUnreplanned {
+			row = append(row, unreplanned)
+		}
+		tb.AddRow(row...)
 	}
 
 	res, err := p.Plan()
 	if err != nil {
 		return fmt.Errorf("initial plan: %w", err)
 	}
-	addRow("initial", res)
+	addRow("initial", res, "-")
+	prev := res
 
 	for _, step := range spec.Timeline {
 		if err := applyStep(p, step); err != nil {
@@ -773,9 +781,124 @@ func runTimeline(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) 
 		if err != nil {
 			return fmt.Errorf("step %q: %w", step.Label, err)
 		}
-		addRow(step.Label, res)
+		unreplanned := "-"
+		if spec.CompareUnreplanned {
+			unreplanned, err = unreplannedCell(prev, step, res)
+			if err != nil {
+				return fmt.Errorf("step %q: un-replanned evaluation: %w", step.Label, err)
+			}
+		}
+		addRow(step.Label, res, unreplanned)
+		prev = res
 	}
 	return nil
+}
+
+// unreplannedCell evaluates the deployment that kept the previous
+// snapshot's plan through the step. Site removals are replayed as node
+// failures against the previous artifacts (faults.Unreplanned);
+// demand/capacity/weight deltas evaluate the previous placement and
+// strategy under the new conditions; metric edits and site additions
+// have no previous-topology counterpart and render "-".
+func unreplannedCell(prev *plan.Snapshot, step Step, cur *plan.Snapshot) (string, error) {
+	if step.ScaleRTT != nil || len(step.AddSites) > 0 {
+		return "-", nil
+	}
+	ev, err := core.NewEval(prev.Topology, prev.System, prev.Placement, cur.Alpha)
+	if err != nil {
+		return "", err
+	}
+
+	// Collect the removed sites as previous-snapshot indices.
+	names := append([]string(nil), step.RemoveSites...)
+	if step.RemoveRegion != "" {
+		for i := 0; i < prev.Topology.Size(); i++ {
+			if prev.Topology.Site(i).Region == step.RemoveRegion {
+				names = append(names, prev.Topology.Site(i).Name)
+			}
+		}
+	}
+	var failed []int
+	for _, name := range names {
+		idx := -1
+		for i := 0; i < prev.Topology.Size(); i++ {
+			if prev.Topology.Site(i).Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return "", fmt.Errorf("no site named %q in the previous snapshot", name)
+		}
+		failed = append(failed, idx)
+	}
+
+	if len(failed) == 0 {
+		// Same membership: the un-replanned deployment runs under the
+		// step's conditions (alpha and weights) with its old placement
+		// and strategy.
+		if cur.Weights != nil {
+			if err := ev.SetClientWeights(cur.Weights); err != nil {
+				return "", err
+			}
+		}
+		return f2(ev.AvgResponseTime(prev.Strategy)), nil
+	}
+
+	// Failure: surviving clients keep their previous weights; the
+	// strategy renormalizes over the surviving quorums.
+	if prev.Weights != nil {
+		if err := ev.SetClientWeights(prev.Weights); err != nil {
+			return "", err
+		}
+	}
+	fe, strat, err := faults.Unreplanned(ev, prev.Strategy, dedupe(failed))
+	if errors.Is(err, quorum.ErrNoQuorumSurvives) {
+		return "down", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return f2(fe.AvgResponseTime(strat)), nil
+}
+
+// applyWeights materializes a weights step into a per-site weight
+// vector: Default (0 = 1) everywhere, region entries override it, site
+// entries override both. Every named region and site must exist.
+func applyWeights(p *plan.Planner, ws *WeightsStep) error {
+	if ws.Uniform {
+		return p.SetClientWeights(nil)
+	}
+	def := ws.Default
+	if def == 0 {
+		def = 1
+	}
+	w := make([]float64, p.Size())
+	regionHit := make(map[string]bool, len(ws.Regions))
+	siteHit := make(map[string]bool, len(ws.Sites))
+	for i := range w {
+		w[i] = def
+		site := p.Site(i)
+		if rw, ok := ws.Regions[site.Region]; ok {
+			w[i] = rw
+			regionHit[site.Region] = true
+		}
+		if sw, ok := ws.Sites[site.Name]; ok {
+			w[i] = sw
+			siteHit[site.Name] = true
+		}
+	}
+	for name := range ws.Regions {
+		if !regionHit[name] {
+			return fmt.Errorf("weights step: no sites in region %q", name)
+		}
+	}
+	for name := range ws.Sites {
+		if !siteHit[name] {
+			return fmt.Errorf("weights step: no site named %q", name)
+		}
+	}
+	return p.SetClientWeights(w)
 }
 
 // defaultPeerAccessMS stands in for an existing site's unrecorded
@@ -808,6 +931,11 @@ func applyStep(p *plan.Planner, step Step) error {
 			if err := p.SetSiteCapacity(v, step.SiteCapacity[name]); err != nil {
 				return err
 			}
+		}
+	}
+	if step.Weights != nil {
+		if err := applyWeights(p, step.Weights); err != nil {
+			return err
 		}
 	}
 	if step.ScaleRTT != nil {

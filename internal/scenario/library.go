@@ -14,6 +14,8 @@ func Library() []Spec {
 		DiurnalDemand(),
 		RTTDrift(),
 		SiteChurn(),
+		FlashCrowd(),
+		HeterogeneousDemand(),
 	}
 }
 
@@ -25,6 +27,13 @@ func LibraryByName(name string) (*Spec, error) {
 		}
 	}
 	return nil, fmt.Errorf("scenario: no built-in scenario %q", name)
+}
+
+// IsLibraryName reports whether a name is taken by a built-in scenario;
+// Load rejects spec files that collide.
+func IsLibraryName(name string) bool {
+	_, err := LibraryByName(name)
+	return err == nil
 }
 
 // RegionalOutage loses all European sites at once, absorbs a demand
@@ -40,11 +49,13 @@ func RegionalOutage() Spec {
 		Notes: []string{
 			"eu-outage removes every 'europe' site: the planner re-places the grid on the survivors",
 			"demand-spike is an evaluation-only re-plan; recovery re-places onto the new sites",
+			"unreplanned_ms evaluates the deployment that kept its pre-outage plan (faults.Unreplanned)",
 		},
-		Topology:   TopologySpec{Source: "planetlab50"},
-		Systems:    []SystemAxis{{Family: "grid", Params: []int{5}}},
-		Strategies: []string{"lp"},
-		Demands:    []float64{8000},
+		Topology:           TopologySpec{Source: "planetlab50"},
+		Systems:            []SystemAxis{{Family: "grid", Params: []int{5}}},
+		Strategies:         []string{"lp"},
+		Demands:            []float64{8000},
+		CompareUnreplanned: true,
 		Timeline: []Step{
 			{Label: "eu-outage", RemoveRegion: "europe"},
 			{Label: "demand-spike", Demand: fp(16000)},
@@ -101,6 +112,67 @@ func RTTDrift() Spec {
 			{Label: "congestion-onset", ScaleRTT: &ScaleRTTStep{Factor: 1.3, Region: "europe"}},
 			{Label: "congestion-peak", ScaleRTT: &ScaleRTTStep{Factor: 1.25, Region: "europe"}},
 			{Label: "partial-relief", ScaleRTT: &ScaleRTTStep{Factor: 0.7, Region: "europe"}},
+		},
+	}
+}
+
+// FlashCrowd follows a regional demand spike: European clients surge to
+// many times their share of the traffic, peak, and recede. Every step is
+// a weights-only delta (SetClientWeights), so each re-plan rebuilds the
+// strategy LP for the new demand mix while the placement stays put —
+// the LP shifts quorum mass toward the crowded region.
+func FlashCrowd() Spec {
+	return Spec{
+		Name:  "flash-crowd",
+		Title: "4x4 Grid on PlanetLab-50, LP strategies: a European flash crowd",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"weights deltas rebuild the strategy LP (replanned column: strategy,eval); the placement never moves",
+			"unlisted regions keep weight 1: a region entry scales that region's share of total demand",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{4}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{8000},
+		Timeline: []Step{
+			{Label: "crowd-onset", Weights: &WeightsStep{Regions: map[string]float64{"europe": 4}}},
+			{Label: "crowd-peak", Weights: &WeightsStep{Regions: map[string]float64{"europe": 12}}},
+			{Label: "crowd-decay", Weights: &WeightsStep{Regions: map[string]float64{"europe": 2}}},
+			{Label: "back-to-uniform", Weights: &WeightsStep{Uniform: true}},
+		},
+	}
+}
+
+// HeterogeneousDemand models a deployment whose clients never were
+// uniform: metro sites carry most of the traffic, remote regions a
+// trickle. The initial skew arrives as a weights delta, deepens, and a
+// demand spike rides on top of it — demonstrating that weight and
+// demand deltas compose (the former rebuilds the strategy LP, the
+// latter re-runs only the evaluation).
+func HeterogeneousDemand() Spec {
+	return Spec{
+		Name:  "heterogeneous-demand",
+		Title: "3x3 Grid on PlanetLab-50, LP strategies: metro-heavy client demand",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"site entries override region entries; the default weight covers everything else",
+			"the demand-spike step is evaluation-only even under skewed weights",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{3}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{4000},
+		Timeline: []Step{
+			{Label: "metro-skew", Weights: &WeightsStep{
+				Regions: map[string]float64{"na-east": 3, "europe": 3},
+				Sites:   map[string]float64{"na-east-00": 8, "europe-00": 8},
+			}},
+			{Label: "deepen-skew", Weights: &WeightsStep{
+				Default: 0.5,
+				Regions: map[string]float64{"na-east": 4, "europe": 4},
+				Sites:   map[string]float64{"na-east-00": 12, "europe-00": 12},
+			}},
+			{Label: "demand-spike", Demand: fp(12000)},
 		},
 	}
 }

@@ -91,6 +91,9 @@ func TestValidateRejects(t *testing.T) {
 // for user spec files.
 func TestLibraryJSONRoundTrip(t *testing.T) {
 	for _, spec := range Library() {
+		// Load rejects names colliding with the library itself, so the
+		// round trip travels under a fresh name.
+		spec.Name += "-roundtrip"
 		data, err := json.Marshal(spec)
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
@@ -220,5 +223,236 @@ func TestTimelineLibrary(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestValidateRejectsNewFields covers the hardening added with the
+// weights/compare_unreplanned steps: empty steps, malformed weights,
+// and misplaced flags are caught before execution.
+func TestValidateRejectsNewFields(t *testing.T) {
+	timeline := func(steps ...Step) Spec {
+		return Spec{
+			Name:     "t",
+			Kind:     KindTimeline,
+			Topology: TopologySpec{Source: "planetlab50"},
+			Systems:  []SystemAxis{{Family: "grid", Params: []int{3}}},
+			Timeline: steps,
+		}
+	}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"step without deltas", timeline(Step{Label: "noop"})},
+		{"uniform weights with regions", timeline(Step{Label: "w", Weights: &WeightsStep{Uniform: true, Regions: map[string]float64{"europe": 2}}})},
+		{"weights assigning nothing", timeline(Step{Label: "w", Weights: &WeightsStep{}})},
+		{"negative region weight", timeline(Step{Label: "w", Weights: &WeightsStep{Regions: map[string]float64{"europe": -1}}})},
+		{"zero site weight", timeline(Step{Label: "w", Weights: &WeightsStep{Sites: map[string]float64{"x": 0}}})},
+		{"negative default weight", timeline(Step{Label: "w", Weights: &WeightsStep{Default: -1, Regions: map[string]float64{"europe": 2}}})},
+		{"compare_unreplanned on eval", Spec{
+			Name: "t", Kind: KindEval, Topology: TopologySpec{Source: "planetlab50"},
+			Systems: []SystemAxis{{Family: "grid", Params: []int{3}}},
+			Demands: []float64{0}, Strategies: []string{"closest"}, Measures: []string{"response"},
+			CompareUnreplanned: true,
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+	ok := timeline(Step{Label: "w", Weights: &WeightsStep{Regions: map[string]float64{"europe": 2}}})
+	ok.CompareUnreplanned = true
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid weights timeline rejected: %v", err)
+	}
+}
+
+// TestLoadHardening is the table-driven Load contract: duplicate library
+// names and malformed delta steps are rejected at load time, mirroring
+// topology.Load's hardening.
+func TestLoadHardening(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+	}{
+		{
+			name:    "library name collision",
+			json:    `{"name":"diurnal-demand","kind":"timeline","topology":{"source":"planetlab50"},"systems":[{"family":"grid","params":[3]}],"timeline":[{"label":"x","demand":1}]}`,
+			wantErr: "collides with a built-in library scenario",
+		},
+		{
+			name:    "library name collision (new scenarios)",
+			json:    `{"name":"flash-crowd","kind":"timeline","topology":{"source":"planetlab50"},"systems":[{"family":"grid","params":[3]}],"timeline":[{"label":"x","demand":1}]}`,
+			wantErr: "collides with a built-in library scenario",
+		},
+		{
+			name:    "unknown delta kind (misspelled key)",
+			json:    `{"name":"x","kind":"timeline","topology":{"source":"planetlab50"},"systems":[{"family":"grid","params":[3]}],"timeline":[{"label":"s","scale_rttt":{"factor":2}}]}`,
+			wantErr: "unknown field",
+		},
+		{
+			name:    "step with no deltas",
+			json:    `{"name":"x","kind":"timeline","topology":{"source":"planetlab50"},"systems":[{"family":"grid","params":[3]}],"timeline":[{"label":"s"}]}`,
+			wantErr: "has no deltas",
+		},
+		{
+			name:    "weights step assigning nothing",
+			json:    `{"name":"x","kind":"timeline","topology":{"source":"planetlab50"},"systems":[{"family":"grid","params":[3]}],"timeline":[{"label":"s","weights":{}}]}`,
+			wantErr: "assigns nothing",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Load(strings.NewReader(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// A fresh name with well-formed deltas loads fine.
+	good := `{"name":"my-workload","kind":"timeline","topology":{"source":"planetlab50"},"systems":[{"family":"grid","params":[3]}],"timeline":[{"label":"s","weights":{"regions":{"europe":2}}}]}`
+	if _, err := Load(strings.NewReader(good)); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestLibraryNamesUnique guards the loader's collision check: the
+// library itself must never introduce a duplicate.
+func TestLibraryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Library() {
+		if seen[s.Name] {
+			t.Errorf("duplicate built-in scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// TestTimelineWeights drives a weights step through a small timeline:
+// skewing demand toward one region must change the LP strategy's
+// response (the replanned column shows strategy,eval) and revert
+// cleanly to the uniform baseline.
+func TestTimelineWeights(t *testing.T) {
+	spec := Spec{
+		Name:       "weights-timeline",
+		Kind:       KindTimeline,
+		Topology:   smallSynth(),
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{3}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{8000},
+		Timeline: []Step{
+			{Label: "eu-crowd", Weights: &WeightsStep{Regions: map[string]float64{"eu": 10}}},
+			{Label: "uniform", Weights: &WeightsStep{Uniform: true}},
+		},
+	}
+	tb, err := Run(&spec, RunConfig{Reproducible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCol, err := tb.Col("replanned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2} {
+		if got := tb.Rows[i][repCol]; got != "strategy,eval" {
+			t.Errorf("weights step %d recomputed %q, want strategy,eval", i, got)
+		}
+	}
+	base, err := tb.Cell(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := tb.Cell(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := tb.Cell(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew == base {
+		t.Errorf("regional skew left the response at %v; weights had no effect", base)
+	}
+	if rev != base {
+		t.Errorf("uniform reset response %v != initial %v", rev, base)
+	}
+
+	// Unknown names surface as step errors.
+	bad := spec
+	bad.Name = "weights-bad"
+	bad.Timeline = []Step{{Label: "x", Weights: &WeightsStep{Regions: map[string]float64{"atlantis": 2}}}}
+	if _, err := Run(&bad, RunConfig{Reproducible: true}); err == nil {
+		t.Error("unknown region accepted at run time")
+	}
+}
+
+// TestTimelineCompareUnreplanned exercises the planner-level fault
+// comparison: an outage step reports both the re-planned response and
+// the response of the deployment that kept its old plan, and the old
+// plan can never win.
+func TestTimelineCompareUnreplanned(t *testing.T) {
+	spec := Spec{
+		Name:               "unreplanned-timeline",
+		Kind:               KindTimeline,
+		Topology:           smallSynth(),
+		Systems:            []SystemAxis{{Family: "grid", Params: []int{3}}},
+		Strategies:         []string{"lp"},
+		Demands:            []float64{8000},
+		CompareUnreplanned: true,
+		Timeline: []Step{
+			{Label: "demand-spike", Demand: fp(16000)},
+			{Label: "eu-outage", RemoveRegion: "eu"},
+			{Label: "rtt-shift", ScaleRTT: &ScaleRTTStep{Factor: 1.2}},
+		},
+	}
+	tb, err := Run(&spec, RunConfig{Reproducible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tb.Col("unreplanned_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Rows[0][col]; got != "-" {
+		t.Errorf("initial row unreplanned cell %q, want -", got)
+	}
+	// Demand-only step: the LP strategy does not depend on alpha, so not
+	// re-planning costs nothing — the cells must match.
+	replanned, err := tb.Cell(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreplanned, err := tb.Cell(1, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned != unreplanned {
+		t.Errorf("demand step: replanned %v != unreplanned %v (LP ignores alpha)", replanned, unreplanned)
+	}
+	// Outage step: both sides of the comparison are present — the
+	// re-planned response on the surviving WAN and the response of the
+	// deployment that kept its pre-failure plan (its strategy
+	// renormalized over the surviving quorums). Neither side dominates
+	// in general: the un-replanned deployment keeps the wider
+	// pre-failure metric but a thinner quorum set.
+	replanned, err = tb.Cell(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreplanned, err = tb.Cell(2, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replanned <= 0 || unreplanned <= 0 {
+		t.Errorf("outage step: implausible responses (replanned %v, unreplanned %v)", replanned, unreplanned)
+	}
+	// Metric edits have no previous-topology counterpart.
+	if got := tb.Rows[3][col]; got != "-" {
+		t.Errorf("scale_rtt unreplanned cell %q, want -", got)
 	}
 }

@@ -7,14 +7,15 @@
 //
 // Every figure of the paper is a Spec (see internal/experiments), the
 // built-in workload library (regional outage, diurnal demand shift, RTT
-// drift, site churn) is a set of Specs, and cmd/quorumbench loads
-// further Specs from JSON files.
+// drift, site churn, flash crowd, heterogeneous demand) is a set of
+// Specs, and cmd/quorumbench loads further Specs from JSON files.
 package scenario
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/quorumnet/quorumnet/internal/plan"
 	"github.com/quorumnet/quorumnet/internal/topology"
@@ -82,6 +83,16 @@ type Spec struct {
 	Iterate  *IterateSpec  `json:"iterate,omitempty"`
 	Protocol *ProtocolSpec `json:"protocol,omitempty"`
 	Timeline []Step        `json:"timeline,omitempty"`
+	// CompareUnreplanned (timeline kind) appends an "unreplanned_ms"
+	// column: each step also evaluates the deployment that did NOT
+	// re-plan — site-removal steps are replayed as failures against the
+	// previous snapshot via internal/faults, demand/capacity/weight
+	// steps evaluate the previous artifacts under the new conditions —
+	// so the table shows the response-time value of re-planning side by
+	// side. Steps with no previous-topology counterpart (scale_rtt,
+	// add_sites) render "-"; a failure no quorum survives renders
+	// "down".
+	CompareUnreplanned bool `json:"compare_unreplanned,omitempty"`
 
 	// Workers bounds the engine's point-level worker pool
 	// (0 = GOMAXPROCS). Results never depend on the worker count.
@@ -297,6 +308,28 @@ type Step struct {
 	RemoveRegion string   `json:"remove_region,omitempty"`
 	// AddSites splices new sites in with synthesized RTTs (churn).
 	AddSites []NewSiteStep `json:"add_sites,omitempty"`
+	// Weights re-targets per-site client demand weights (flash crowds,
+	// heterogeneous demand).
+	Weights *WeightsStep `json:"weights,omitempty"`
+}
+
+// hasDelta reports whether the step changes anything; Validate rejects
+// empty steps (a misspelled delta key is caught by the JSON decoder, a
+// structurally empty step here).
+func (s Step) hasDelta() bool {
+	return s.Demand != nil || s.UniformCapacity != nil || len(s.SiteCapacity) > 0 ||
+		s.ScaleRTT != nil || len(s.RemoveSites) > 0 || s.RemoveRegion != "" ||
+		len(s.AddSites) > 0 || s.Weights != nil
+}
+
+// WeightsStep assigns relative demand weights to the sites: every site
+// starts at Default (0 = 1), region entries override it, and site
+// entries override both. Uniform restores uniform demand instead.
+type WeightsStep struct {
+	Uniform bool               `json:"uniform,omitempty"`
+	Default float64            `json:"default,omitempty"`
+	Regions map[string]float64 `json:"regions,omitempty"`
+	Sites   map[string]float64 `json:"sites,omitempty"`
 }
 
 // ScaleRTTStep multiplies the raw RTT of links by Factor; when Region is
@@ -318,13 +351,19 @@ type NewSiteStep struct {
 	Capacity float64 `json:"capacity,omitempty"`
 }
 
-// Load reads and validates a JSON scenario spec.
+// Load reads and validates a JSON scenario spec. Specs whose name
+// collides with a built-in library scenario are rejected — quorumbench
+// resolves names against the library first, so a colliding file could
+// never be addressed unambiguously.
 func Load(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	if IsLibraryName(s.Name) {
+		return nil, fmt.Errorf("scenario: spec name %q collides with a built-in library scenario", s.Name)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -434,14 +473,41 @@ func (s *Spec) Validate() error {
 			if st.Label == "" {
 				return fail("timeline step %d needs a label", i)
 			}
+			if !st.hasDelta() {
+				return fail("timeline step %q has no deltas", st.Label)
+			}
 			if st.ScaleRTT != nil && st.ScaleRTT.Factor <= 0 {
 				return fail("timeline step %q: scale_rtt factor must be positive", st.Label)
+			}
+			if w := st.Weights; w != nil {
+				if w.Uniform && (w.Default != 0 || len(w.Regions) > 0 || len(w.Sites) > 0) {
+					return fail("timeline step %q: uniform weights exclude default/regions/sites", st.Label)
+				}
+				if !w.Uniform && w.Default == 0 && len(w.Regions) == 0 && len(w.Sites) == 0 {
+					return fail("timeline step %q: weights step assigns nothing", st.Label)
+				}
+				if w.Default < 0 || math.IsNaN(w.Default) || math.IsInf(w.Default, 0) {
+					return fail("timeline step %q: invalid default weight %v", st.Label, w.Default)
+				}
+				for name, v := range w.Regions {
+					if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						return fail("timeline step %q: invalid weight %v for region %q", st.Label, v, name)
+					}
+				}
+				for name, v := range w.Sites {
+					if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						return fail("timeline step %q: invalid weight %v for site %q", st.Label, v, name)
+					}
+				}
 			}
 		}
 	case "":
 		return fail("kind missing")
 	default:
 		return fail("unknown kind %q", s.Kind)
+	}
+	if s.CompareUnreplanned && s.Kind != KindTimeline {
+		return fail("compare_unreplanned only applies to timeline scenarios")
 	}
 	return nil
 }

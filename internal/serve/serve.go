@@ -1,0 +1,301 @@
+// Package serve exposes a deploy.Manager over HTTP — the transport of
+// the quorumd daemon. Three endpoints:
+//
+//	GET  /v1/plan    — the current snapshot. ETag is the plan version
+//	                   ("v<n>"); If-None-Match returns 304 when nothing
+//	                   changed. With ?after=<version>, the request
+//	                   long-polls until a newer snapshot is published or
+//	                   ?timeout (capped by Options.MaxWait) elapses, in
+//	                   which case the current snapshot is served.
+//	POST /v1/deltas  — {"deltas": [...]} applies a batch of typed deltas
+//	                   (see deploy.Delta) and returns the resulting
+//	                   version and provenance.
+//	GET  /v1/history — the retained re-plan history with provenance,
+//	                   newest first (?limit=n).
+//
+// Reads are wait-free: the handler serves the atomically published
+// snapshot, so a slow re-plan never blocks readers.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/deploy"
+)
+
+// Options tunes the server.
+type Options struct {
+	// MaxWait caps a long-poll's ?timeout (default 30s).
+	MaxWait time.Duration
+}
+
+func (o Options) maxWait() time.Duration {
+	if o.MaxWait <= 0 {
+		return 30 * time.Second
+	}
+	return o.MaxWait
+}
+
+// Server serves one deployment.
+type Server struct {
+	m    *deploy.Manager
+	opts Options
+}
+
+// New wraps a manager.
+func New(m *deploy.Manager, opts Options) *Server {
+	return &Server{m: m, opts: opts}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/deltas", s.handleDeltas)
+	mux.HandleFunc("/v1/history", s.handleHistory)
+	return mux
+}
+
+// SiteJSON describes one site of the served plan.
+type SiteJSON struct {
+	Name     string  `json:"name"`
+	Region   string  `json:"region,omitempty"`
+	Capacity float64 `json:"capacity"`
+	Weight   float64 `json:"weight,omitempty"`
+}
+
+// ProvenanceJSON serializes a snapshot's provenance plus the manager's
+// adaptation decision.
+type ProvenanceJSON struct {
+	Summary    string   `json:"summary"`
+	Recomputed []string `json:"recomputed"`
+	Deltas     []string `json:"deltas,omitempty"`
+	Pinned     bool     `json:"pinned,omitempty"`
+	Decision   string   `json:"decision"`
+}
+
+// PlanJSON is the GET /v1/plan payload.
+type PlanJSON struct {
+	Version      uint64         `json:"version"`
+	Topology     string         `json:"topology"`
+	System       string         `json:"system"`
+	Sites        []SiteJSON     `json:"sites"`
+	ElementSites []string       `json:"element_sites"`
+	Strategy     string         `json:"strategy"`
+	Demand       float64        `json:"demand"`
+	ResponseMS   float64        `json:"response_ms"`
+	NetDelayMS   float64        `json:"net_delay_ms"`
+	MaxLoad      float64        `json:"max_load"`
+	Provenance   ProvenanceJSON `json:"provenance"`
+}
+
+// HistoryEntryJSON is one GET /v1/history element.
+type HistoryEntryJSON struct {
+	Version    uint64         `json:"version"`
+	ResponseMS float64        `json:"response_ms"`
+	NetDelayMS float64        `json:"net_delay_ms"`
+	Applied    int            `json:"applied_deltas"`
+	Provenance ProvenanceJSON `json:"provenance"`
+}
+
+// DeltasRequest is the POST /v1/deltas payload.
+type DeltasRequest struct {
+	Deltas []deploy.Delta `json:"deltas"`
+}
+
+// DeltasResponse is the POST /v1/deltas reply.
+type DeltasResponse struct {
+	Version    uint64         `json:"version"`
+	ResponseMS float64        `json:"response_ms"`
+	Provenance ProvenanceJSON `json:"provenance"`
+}
+
+func provenanceJSON(e *deploy.Entry) ProvenanceJSON {
+	p := e.Snapshot.Provenance
+	names := e.Snapshot.RecomputedNames()
+	if names == nil {
+		names = []string{}
+	}
+	return ProvenanceJSON{
+		Summary:    p.Summary(),
+		Recomputed: names,
+		Deltas:     p.Deltas,
+		Pinned:     p.Pinned,
+		Decision:   e.Decision,
+	}
+}
+
+func planJSON(e *deploy.Entry) *PlanJSON {
+	snap := e.Snapshot
+	topo := snap.Topology
+	sites := make([]SiteJSON, topo.Size())
+	for i := range sites {
+		site := topo.Site(i)
+		sites[i] = SiteJSON{Name: site.Name, Region: site.Region, Capacity: topo.Capacity(i)}
+		if snap.Weights != nil {
+			sites[i].Weight = snap.Weights[i]
+		}
+	}
+	elems := make([]string, snap.Placement.UniverseSize())
+	for u := range elems {
+		elems[u] = topo.Site(snap.Placement.Node(u)).Name
+	}
+	return &PlanJSON{
+		Version:      snap.Version,
+		Topology:     topo.Name(),
+		System:       snap.System.Name(),
+		Sites:        sites,
+		ElementSites: elems,
+		Strategy:     snap.Strategy.Name(),
+		Demand:       snap.Demand,
+		ResponseMS:   snap.Response,
+		NetDelayMS:   snap.NetDelay,
+		MaxLoad:      snap.MaxLoad,
+		Provenance:   provenanceJSON(e),
+	}
+}
+
+func etag(v uint64) string { return fmt.Sprintf("\"v%d\"", v) }
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	entry := s.m.Current()
+
+	// Long-poll: ?after=<version> (optionally with ?timeout=<duration>)
+	// blocks until a newer version is published. If-None-Match with the
+	// current ETag behaves like after=<current>.
+	after, hasAfter, err := parseAfter(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !hasAfter && r.Header.Get("If-None-Match") == etag(entry.Snapshot.Version) {
+		if r.URL.Query().Get("timeout") == "" {
+			w.Header().Set("ETag", etag(entry.Snapshot.Version))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		after, hasAfter = entry.Snapshot.Version, true
+	}
+	if hasAfter && entry.Snapshot.Version <= after {
+		timeout := s.opts.maxWait()
+		if tstr := r.URL.Query().Get("timeout"); tstr != "" {
+			d, err := time.ParseDuration(tstr)
+			if err != nil || d <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid timeout %q", tstr))
+				return
+			}
+			if d < timeout {
+				timeout = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		entry, _ = s.m.Wait(ctx, after) // timeout serves the current plan
+	}
+
+	w.Header().Set("ETag", etag(entry.Snapshot.Version))
+	writeJSON(w, http.StatusOK, planJSON(entry))
+}
+
+func parseAfter(r *http.Request) (uint64, bool, error) {
+	str := r.URL.Query().Get("after")
+	if str == "" {
+		return 0, false, nil
+	}
+	v, err := strconv.ParseUint(str, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("invalid after version %q", str)
+	}
+	return v, true, nil
+}
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req DeltasRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding deltas: "+err.Error())
+		return
+	}
+	if len(req.Deltas) == 0 {
+		httpError(w, http.StatusBadRequest, "empty delta batch")
+		return
+	}
+	entry, err := s.m.Apply(req.Deltas)
+	if err != nil {
+		// A malformed batch is rejected untouched (400); a batch that
+		// applied but cannot be planned (e.g. LP infeasible under the
+		// new capacities) is a conflict with the deployment's state —
+		// the previous snapshot keeps being served.
+		status := http.StatusBadRequest
+		if errors.Is(err, deploy.ErrReplan) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, &DeltasResponse{
+		Version:    entry.Snapshot.Version,
+		ResponseMS: entry.Snapshot.Response,
+		Provenance: provenanceJSON(entry),
+	})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	entries := s.m.History()
+	limit := len(entries)
+	if lstr := r.URL.Query().Get("limit"); lstr != "" {
+		l, err := strconv.Atoi(lstr)
+		if err != nil || l <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", lstr))
+			return
+		}
+		if l < limit {
+			limit = l
+		}
+	}
+	out := make([]HistoryEntryJSON, 0, limit)
+	for i := len(entries) - 1; i >= len(entries)-limit; i-- {
+		e := entries[i]
+		out = append(out, HistoryEntryJSON{
+			Version:    e.Snapshot.Version,
+			ResponseMS: e.Snapshot.Response,
+			NetDelayMS: e.Snapshot.NetDelay,
+			Applied:    e.Applied,
+			Provenance: provenanceJSON(e),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"snapshots": out})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

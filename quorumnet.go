@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/deploy"
 	"github.com/quorumnet/quorumnet/internal/experiments"
 	"github.com/quorumnet/quorumnet/internal/faults"
 	"github.com/quorumnet/quorumnet/internal/lp"
@@ -47,6 +48,7 @@ import (
 	"github.com/quorumnet/quorumnet/internal/protocol"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/scenario"
+	"github.com/quorumnet/quorumnet/internal/serve"
 	"github.com/quorumnet/quorumnet/internal/strategy"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -364,11 +366,18 @@ type Planner = plan.Planner
 // placement algorithm, access-strategy kind, demand, and solver options.
 type PlannerConfig = plan.Config
 
-// PlanResult is the outcome of one Planner.Plan call: stage artifacts,
-// measures, and the list of stages that were actually recomputed.
-type PlanResult = plan.Result
+// PlanSnapshot is the immutable, versioned outcome of one Planner.Plan
+// call: deep-copied stage artifacts, the evaluation measures, and a
+// provenance recording which stages re-ran and why. Snapshots may be
+// shared with concurrent readers.
+type PlanSnapshot = plan.Snapshot
 
-// PlanStage identifies one pipeline stage in PlanResult.Recomputed.
+// PlanProvenance explains a snapshot: recomputed stages, the deltas
+// that drove them, and whether the placement was pinned.
+type PlanProvenance = plan.Provenance
+
+// PlanStage identifies one pipeline stage in
+// PlanProvenance.Recomputed.
 type PlanStage = plan.Stage
 
 // SystemSpec names a quorum-system family and parameter declaratively
@@ -393,6 +402,69 @@ const (
 // topology is deep-copied; later deltas mutate only the planner's state.
 func NewPlanner(topo *Topology, cfg PlannerConfig) (*Planner, error) {
 	return plan.New(topo, cfg)
+}
+
+// Deployment is the online-adaptation layer over one Planner: it
+// serializes delta ingestion (RTT probes, capacity changes, demand
+// telemetry) through a single apply loop, publishes every re-plan as an
+// immutable PlanSnapshot readers load without blocking, and gates
+// placement moves behind the DeployConfig.MoveCost hysteresis threshold
+// (strategy-only re-plans are always taken).
+type Deployment = deploy.Manager
+
+// DeployConfig tunes a Deployment: the placement-move hysteresis
+// threshold, history retention, and delta-log recording.
+type DeployConfig = deploy.Config
+
+// DeployDelta is one typed world change posted to a Deployment: an RTT
+// probe, a capacity change, demand telemetry, or per-site demand
+// weights.
+type DeployDelta = deploy.Delta
+
+// DeployEntry is one published re-plan: the snapshot plus the
+// adaptation decision ("adopt …", "move …", "hold …") that produced it.
+type DeployEntry = deploy.Entry
+
+// Delta kinds for DeployDelta.Kind.
+const (
+	DeltaRTT             = deploy.KindRTT
+	DeltaCapacity        = deploy.KindCapacity
+	DeltaUniformCapacity = deploy.KindUniformCapacity
+	DeltaDemand          = deploy.KindDemand
+	DeltaWeights         = deploy.KindWeights
+)
+
+// NewDeployment wraps a planner (which must not be used elsewhere
+// afterwards), runs the initial plan, and publishes it as version 1.
+func NewDeployment(p *Planner, cfg DeployConfig) (*Deployment, error) {
+	return deploy.New(p, cfg)
+}
+
+// CoalesceDeltas collapses a delta batch, dropping every delta whose
+// effect a later one overwrites.
+func CoalesceDeltas(ds []DeployDelta) []DeployDelta { return deploy.Coalesce(ds) }
+
+// PlanServer exposes a Deployment over HTTP: GET /v1/plan (versioned
+// snapshot, ETag, long-poll), POST /v1/deltas, GET /v1/history — the
+// transport behind the quorumd daemon.
+type PlanServer = serve.Server
+
+// PlanServerOptions tunes a PlanServer (long-poll cap).
+type PlanServerOptions = serve.Options
+
+// NewPlanServer wraps a deployment for serving; mount Handler() on any
+// http server.
+func NewPlanServer(m *Deployment, opts PlanServerOptions) *PlanServer {
+	return serve.New(m, opts)
+}
+
+// EvalUnreplanned evaluates a deployment that does not re-plan around a
+// node failure: the placement stays fixed, explicit strategies are
+// renormalized over the surviving quorums, and the returned evaluator
+// and strategy measure the response time the deployment pays for
+// keeping its pre-failure plan.
+func EvalUnreplanned(e *Eval, s Strategy, failedNodes []int) (*Eval, Strategy, error) {
+	return faults.Unreplanned(e, s, failedNodes)
 }
 
 // Scenario is a declarative workload: a topology source, quorum-system
@@ -430,7 +502,8 @@ func RunScenario(spec *Scenario, cfg ScenarioConfig) (*ResultTable, error) {
 func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
 
 // ScenarioLibrary lists the built-in workload scenarios: regional
-// outage, diurnal demand shift, RTT drift, and site churn.
+// outage, diurnal demand shift, RTT drift, site churn, flash crowd,
+// and heterogeneous demand.
 func ScenarioLibrary() []Scenario { return scenario.Library() }
 
 // Experiment regenerates one of the paper's figures.

@@ -132,7 +132,7 @@ func TestPublicAPIPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Recomputed) != 5 || res.LP == nil || res.Response <= 0 {
+	if !res.Provenance.Cold() || res.LP == nil || res.Response <= 0 || res.Version != 1 {
 		t.Fatalf("implausible cold plan: %+v", res)
 	}
 	if err := p.SetDemand(16000); err != nil {
@@ -142,7 +142,7 @@ func TestPublicAPIPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Recomputed) != 1 || res.Recomputed[0].String() != "eval" {
+	if !res.Provenance.EvalOnly() {
 		t.Fatalf("demand delta recomputed %v, want [eval]", res.RecomputedNames())
 	}
 	if err := p.RemoveSite(p.Site(0).Name); err != nil {
@@ -160,8 +160,8 @@ func TestPublicAPIPlanner(t *testing.T) {
 // TestPublicAPIScenario runs a library scenario and a hand-built eval
 // spec through the engine.
 func TestPublicAPIScenario(t *testing.T) {
-	if len(quorumnet.ScenarioLibrary()) != 4 {
-		t.Errorf("ScenarioLibrary() = %d scenarios, want 4", len(quorumnet.ScenarioLibrary()))
+	if len(quorumnet.ScenarioLibrary()) != 6 {
+		t.Errorf("ScenarioLibrary() = %d scenarios, want 6", len(quorumnet.ScenarioLibrary()))
 	}
 	spec := quorumnet.Scenario{
 		Name:       "api-smoke",

@@ -1,5 +1,6 @@
 // Command quorumbench regenerates the paper's figures as text tables and
-// runs declarative scenarios through the scenario engine.
+// runs declarative scenarios through the scenario engine — locally,
+// sharded across processes, or coordinated over a worker fleet.
 //
 // Usage:
 //
@@ -13,11 +14,23 @@
 //	quorumbench -scenario list
 //	quorumbench -scenario diurnal-demand
 //	quorumbench -scenario my-workload.json
+//	quorumbench -fig 6.3 -format csv
+//
+// Sharded execution (the merged output is byte-identical to the
+// unsharded run, whatever the shard count or completion order):
+//
+//	quorumbench -fig 6.3 -shards 4                  # all shards locally, merged
+//	quorumbench -fig 6.3 -shards 4 -shard 1 > p1.json   # one shard's partial
+//	quorumbench -fig 6.3 -shards 4 -merge p0.json,p1.json,p2.json,p3.json
+//	quorumbench -fleet-worker -addr :9190           # serve shards for a fleet
+//	quorumbench -fig 6.3 -fleet host1:9190,host2:9190
 //
 // -scenario runs a workload scenario: "list" prints the built-in
 // library, a library name runs that scenario, and anything else is
 // loaded as a JSON spec file (see the quorumnet.Scenario type for the
-// schema).
+// schema). -shards/-shard/-merge/-fleet apply to -scenario exactly as
+// they do to -fig; -progress logs per-point completions to stderr so
+// long parameter studies are observable.
 //
 // By default the LP-heavy figures run on the fast path (warm-started,
 // partially priced, parallel solves); -reproducible regenerates the
@@ -27,8 +40,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,6 +51,7 @@ import (
 	"time"
 
 	"github.com/quorumnet/quorumnet/internal/experiments"
+	"github.com/quorumnet/quorumnet/internal/fleet"
 	"github.com/quorumnet/quorumnet/internal/scenario"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -51,17 +67,43 @@ func run() int {
 		all       = flag.Bool("all", false, "regenerate every paper figure")
 		ablations = flag.Bool("ablations", false, "regenerate the ablation studies")
 		list      = flag.Bool("list", false, "list available figures and ablations")
-		markdown  = flag.Bool("markdown", false, "emit markdown tables")
+		markdown  = flag.Bool("markdown", false, "emit markdown tables (same as -format markdown)")
+		format    = flag.String("format", "", "output format: text (default), markdown, csv, json")
 		quick     = flag.Bool("quick", false, "reduced scale (for smoke testing)")
 		seed      = flag.Int64("seed", topology.DefaultSeed, "topology/protocol seed")
 		runs      = flag.Int("runs", 5, "protocol simulation runs per point")
 		duration  = flag.Float64("duration", 20000, "protocol simulation length (ms)")
 		repro     = flag.Bool("reproducible", false, "bit-reproduce the original serial harness's tables (slower)")
 		scen      = flag.String("scenario", "", "run a scenario: 'list', a built-in name, or a JSON spec file")
+		shards    = flag.Int("shards", 0, "split the figure/scenario point-space into this many shards")
+		shard     = flag.Int("shard", -1, "execute only this shard (0-based, with -shards) and print its partial as JSON")
+		mergeArg  = flag.String("merge", "", "comma-separated partial JSON files to merge into the full table")
+		fleetArg  = flag.String("fleet", "", "comma-separated fleet worker addresses to run the shards on")
+		worker    = flag.Bool("fleet-worker", false, "serve shard jobs for fleet coordinators (see -addr)")
+		addr      = flag.String("addr", "127.0.0.1:9190", "listen address for -fleet-worker")
+		progress  = flag.Bool("progress", false, "log per-shard/per-point completion counts to stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
 	)
 	flag.Parse()
+
+	outFormat := *format
+	if outFormat == "" {
+		outFormat = "text"
+		if *markdown {
+			outFormat = "markdown"
+		}
+	}
+	switch outFormat {
+	case "text", "markdown", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "quorumbench: unknown format %q (text, markdown, csv, json)\n", outFormat)
+		return 2
+	}
+
+	if *worker {
+		return runFleetWorker(*addr)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -94,13 +136,29 @@ func run() int {
 		Reproducible: *repro,
 	}
 
+	// Sharded, fleet, and merge modes operate on one spec's point-space.
+	if *shards > 0 || *shard >= 0 || *mergeArg != "" || *fleetArg != "" {
+		spec, cfg, code := resolveSpec(*fig, *scen, params)
+		if code != 0 {
+			return code
+		}
+		if *progress {
+			cfg.Progress = logProgress
+		}
+		return runSharded(spec, cfg, *shards, *shard, *mergeArg, *fleetArg, outFormat, *progress)
+	}
+
 	if *scen != "" {
-		return runScenario(*scen, scenario.RunConfig{
+		cfg := scenario.RunConfig{
 			Seed:         *seed,
 			Reproducible: *repro,
 			QURuns:       *runs,
 			QUDurationMS: *duration,
-		}, *markdown)
+		}
+		if *progress {
+			cfg.Progress = logProgress
+		}
+		return runScenario(*scen, cfg, outFormat)
 	}
 
 	var todo []experiments.Experiment
@@ -110,17 +168,13 @@ func run() int {
 	case *ablations:
 		todo = experiments.Ablations()
 	case *fig != "":
-		id := *fig
-		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "abl") {
-			id = "fig" + id
-		}
-		e, err := experiments.ByID(id)
+		e, err := experiments.ByID(normalizeFigID(*fig))
 		if err != nil {
 			return fail(err)
 		}
 		todo = []experiments.Experiment{e}
 	default:
-		fmt.Fprintln(os.Stderr, "specify -fig <id>, -all, -ablations, or -list")
+		fmt.Fprintln(os.Stderr, "specify -fig <id>, -all, -ablations, -scenario, -fleet-worker, or -list")
 		return 2
 	}
 
@@ -130,57 +184,227 @@ func run() int {
 		if err != nil {
 			return fail(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		if *markdown {
-			if err := tb.FormatMarkdown(os.Stdout); err != nil {
-				return fail(err)
-			}
-		} else {
-			if err := tb.Format(os.Stdout); err != nil {
-				return fail(err)
-			}
-			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if code := emit(tb, outFormat, e.ID, start, "\n\n"); code != 0 {
+			return code
 		}
 	}
 	return 0
 }
 
+func normalizeFigID(id string) string {
+	if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "abl") {
+		id = "fig" + id
+	}
+	return id
+}
+
+// resolveSpec finds the declarative spec sharded modes partition: a
+// figure's (-fig) or a scenario's (-scenario). Returns a non-zero exit
+// code on failure.
+func resolveSpec(fig, scen string, params experiments.Params) (*scenario.Spec, scenario.RunConfig, int) {
+	switch {
+	case fig != "" && scen != "":
+		fmt.Fprintln(os.Stderr, "quorumbench: sharded runs take -fig or -scenario, not both")
+		return nil, scenario.RunConfig{}, 2
+	case fig != "":
+		e, err := experiments.ByID(normalizeFigID(fig))
+		if err != nil {
+			return nil, scenario.RunConfig{}, fail(err)
+		}
+		if e.Spec == nil {
+			return nil, scenario.RunConfig{}, fail(fmt.Errorf("%s is a bespoke runner without a declarative spec; it cannot shard", e.ID))
+		}
+		return e.Spec(params), params.RunConfig(), 0
+	case scen != "" && scen != "list":
+		spec, code := loadSpec(scen)
+		if code != 0 {
+			return nil, scenario.RunConfig{}, code
+		}
+		return spec, scenario.RunConfig{
+			Seed:         params.Seed,
+			Reproducible: params.Reproducible,
+			QURuns:       params.QURuns,
+			QUDurationMS: params.QUDurationMS,
+		}, 0
+	default:
+		fmt.Fprintln(os.Stderr, "quorumbench: sharded runs need -fig <id> or -scenario <name|file>")
+		return nil, scenario.RunConfig{}, 2
+	}
+}
+
+// runSharded executes the sharded/fleet/merge modes over one spec.
+func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, shards, shard int, mergeArg, fleetArg, format string, progress bool) int {
+	start := time.Now()
+	switch {
+	case mergeArg != "":
+		var partials []*scenario.Partial
+		for _, path := range strings.Split(mergeArg, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(path))
+			if err != nil {
+				return fail(err)
+			}
+			var p scenario.Partial
+			if err := json.Unmarshal(data, &p); err != nil {
+				return fail(fmt.Errorf("%s: %w", path, err))
+			}
+			partials = append(partials, &p)
+		}
+		tb, err := scenario.Merge(spec, cfg, partials)
+		if err != nil {
+			return fail(err)
+		}
+		return emit(tb, format, spec.Name, start, "\n")
+
+	case fleetArg != "":
+		fcfg := fleet.Config{Workers: strings.Split(fleetArg, ","), Shards: shards}
+		if progress {
+			fcfg.Logf = func(f string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, f+"\n", args...)
+			}
+		}
+		coord, err := fleet.New(fcfg)
+		if err != nil {
+			return fail(err)
+		}
+		tb, err := coord.Run(spec, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return emit(tb, format, spec.Name, start, "\n")
+
+	case shard >= 0:
+		if shards <= 0 {
+			fmt.Fprintln(os.Stderr, "quorumbench: -shard needs -shards")
+			return 2
+		}
+		space, err := scenario.NewSpace(spec, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		part, err := space.Shard(shard, shards)
+		if err != nil {
+			return fail(err)
+		}
+		partial, err := part.Execute()
+		if err != nil {
+			return fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(partial); err != nil {
+			return fail(err)
+		}
+		return 0
+
+	default:
+		// All shards in this process, merged — the smoke-testable proof
+		// that sharding preserves bytes.
+		space, err := scenario.NewSpace(spec, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		partials := make([]*scenario.Partial, shards)
+		for si := 0; si < shards; si++ {
+			part, err := space.Shard(si, shards)
+			if err != nil {
+				return fail(err)
+			}
+			if partials[si], err = part.Execute(); err != nil {
+				return fail(err)
+			}
+		}
+		tb, err := space.Merge(partials)
+		if err != nil {
+			return fail(err)
+		}
+		return emit(tb, format, spec.Name, start, "\n")
+	}
+}
+
+// runFleetWorker serves shard jobs until the process is killed.
+func runFleetWorker(addr string) int {
+	w := fleet.NewWorker(fleet.WorkerOptions{
+		Logf: func(f string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, f+"\n", args...)
+		},
+	})
+	fmt.Fprintf(os.Stderr, "quorumbench: fleet worker listening on %s\n", addr)
+	return fail(http.ListenAndServe(addr, w.Handler()))
+}
+
+// logProgress is the -progress handler: per-point completion counts
+// with elapsed time.
+func logProgress(ev scenario.Progress) {
+	fmt.Fprintf(os.Stderr, "progress: %s shard %d/%d: point %d/%d done (%s, %.1fs)\n",
+		ev.Scenario, ev.Shard, ev.Shards, ev.Done, ev.Total, ev.Point.Label, ev.Elapsed.Seconds())
+}
+
+// emit writes one table in the selected format; text appends the timing
+// line the classic paths printed (trailer is its tail: "\n" after
+// figures, "" after scenarios keeps historic spacing).
+func emit(tb *scenario.Table, format, id string, start time.Time, trailer string) int {
+	switch format {
+	case "markdown":
+		if err := tb.FormatMarkdown(os.Stdout); err != nil {
+			return fail(err)
+		}
+	case "csv":
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			return fail(err)
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tb); err != nil {
+			return fail(err)
+		}
+	default:
+		if err := tb.Format(os.Stdout); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("(%s in %.1fs)%s", id, time.Since(start).Seconds(), trailer)
+	}
+	return 0
+}
+
+// loadSpec resolves a -scenario argument to a spec: a built-in library
+// name or a JSON spec file path.
+func loadSpec(arg string) (*scenario.Spec, int) {
+	spec, err := scenario.LibraryByName(arg)
+	if err == nil {
+		return spec, 0
+	}
+	f, ferr := os.Open(arg)
+	if ferr != nil {
+		return nil, fail(fmt.Errorf("%q is neither a built-in scenario nor a readable spec file: %w", arg, ferr))
+	}
+	defer f.Close()
+	spec, err = scenario.Load(f)
+	if err != nil {
+		return nil, fail(err)
+	}
+	return spec, 0
+}
+
 // runScenario resolves the -scenario argument: "list", a built-in
 // library name, or a JSON spec file path.
-func runScenario(arg string, cfg scenario.RunConfig, markdown bool) int {
+func runScenario(arg string, cfg scenario.RunConfig, format string) int {
 	if arg == "list" {
 		for _, s := range scenario.Library() {
 			fmt.Printf("%-21s %-9s %s\n", s.Name, s.Kind, s.Title)
 		}
 		return 0
 	}
-	spec, err := scenario.LibraryByName(arg)
-	if err != nil {
-		f, ferr := os.Open(arg)
-		if ferr != nil {
-			return fail(fmt.Errorf("%q is neither a built-in scenario nor a readable spec file: %w", arg, ferr))
-		}
-		defer f.Close()
-		spec, err = scenario.Load(f)
-		if err != nil {
-			return fail(err)
-		}
+	spec, code := loadSpec(arg)
+	if code != 0 {
+		return code
 	}
 	start := time.Now()
 	tb, err := scenario.Run(spec, cfg)
 	if err != nil {
 		return fail(err)
 	}
-	if markdown {
-		if err := tb.FormatMarkdown(os.Stdout); err != nil {
-			return fail(err)
-		}
-		return 0
-	}
-	if err := tb.Format(os.Stdout); err != nil {
-		return fail(err)
-	}
-	fmt.Printf("(%s in %.1fs)\n", spec.Name, time.Since(start).Seconds())
-	return 0
+	return emit(tb, format, spec.Name, start, "\n")
 }
 
 func writeMemProfile(path string) {

@@ -18,11 +18,11 @@ func capacityAxis(quick bool) scenario.SystemAxis {
 	return scenario.SystemAxis{Family: "grid"}
 }
 
-// Fig76 regenerates Figure 7.6: response time and network delay as the
+// SpecFig76 declares Figure 7.6: response time and network delay as the
 // uniform node capacity c_i = Lopt + i·(1−Lopt)/10 varies, per universe
 // size, with LP-optimized access strategies.
-func Fig76(p Params) (*Table, error) {
-	spec := scenario.Spec{
+func SpecFig76(p Params) *scenario.Spec {
+	return &scenario.Spec{
 		Name:  "fig7.6",
 		Title: "Grid on PlanetLab-50, demand 16000: LP strategies under uniform capacities",
 		Kind:  scenario.KindSweep,
@@ -34,13 +34,17 @@ func Fig76(p Params) (*Table, error) {
 		Sweep:    &scenario.SweepSpec{Points: sweepCount(p), Demand: 16000},
 		Columns:  []string{"universe", "capacity", "net_delay_ms", "response_ms"},
 	}
-	return scenario.Run(&spec, p.runConfig())
 }
 
-// Fig77 regenerates Figure 7.7: the uniform sweep against the non-uniform
-// capacity heuristic with [β, γ] = [Lopt, c_i].
-func Fig77(p Params) (*Table, error) {
-	spec := scenario.Spec{
+// Fig76 regenerates Figure 7.6.
+func Fig76(p Params) (*Table, error) {
+	return scenario.Run(SpecFig76(p), p.RunConfig())
+}
+
+// SpecFig77 declares Figure 7.7: the uniform sweep against the
+// non-uniform capacity heuristic with [β, γ] = [Lopt, c_i].
+func SpecFig77(p Params) *scenario.Spec {
+	return &scenario.Spec{
 		Name:  "fig7.7",
 		Title: "Grid on PlanetLab-50, demand 16000: uniform vs non-uniform capacities",
 		Kind:  scenario.KindSweep,
@@ -57,16 +61,20 @@ func Fig77(p Params) (*Table, error) {
 		Columns: []string{"universe", "capacity",
 			"net_uniform", "resp_uniform", "net_nonuniform", "resp_nonuniform"},
 	}
-	return scenario.Run(&spec, p.runConfig())
 }
 
-// Fig78 regenerates Figure 7.8: the k=7 (n=49) slice of the comparison.
-func Fig78(p Params) (*Table, error) {
+// Fig77 regenerates Figure 7.7.
+func Fig77(p Params) (*Table, error) {
+	return scenario.Run(SpecFig77(p), p.RunConfig())
+}
+
+// SpecFig78 declares Figure 7.8: the k=7 (n=49) slice of the comparison.
+func SpecFig78(p Params) *scenario.Spec {
 	k := 7
 	if p.Quick {
 		k = 4
 	}
-	spec := scenario.Spec{
+	return &scenario.Spec{
 		Name:  "fig7.8",
 		Title: "7x7 Grid on PlanetLab-50, demand 16000: response vs capacity",
 		Kind:  scenario.KindSweep,
@@ -84,5 +92,9 @@ func Fig78(p Params) (*Table, error) {
 		Columns: []string{"capacity",
 			"net_uniform", "resp_uniform", "net_nonuniform", "resp_nonuniform"},
 	}
-	return scenario.Run(&spec, p.runConfig())
+}
+
+// Fig78 regenerates Figure 7.8.
+func Fig78(p Params) (*Table, error) {
+	return scenario.Run(SpecFig78(p), p.RunConfig())
 }

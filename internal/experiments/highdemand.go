@@ -12,10 +12,10 @@ func gridAxis(quick bool) scenario.SystemAxis {
 	return a
 }
 
-// Fig64 regenerates Figure 6.4: Grid response times under the closest and
-// balanced strategies at client demands 1000 and 4000 on daxlist-161.
-func Fig64(p Params) (*Table, error) {
-	spec := scenario.Spec{
+// SpecFig64 declares Figure 6.4: Grid response times under the closest
+// and balanced strategies at client demands 1000 and 4000 on daxlist-161.
+func SpecFig64(p Params) *scenario.Spec {
+	return &scenario.Spec{
 		Name:  "fig6.4",
 		Title: "Grid response time (ms) on daxlist-161, closest vs balanced, demand 1000/4000",
 		Kind:  scenario.KindEval,
@@ -32,13 +32,17 @@ func Fig64(p Params) (*Table, error) {
 		Columns: []string{"universe",
 			"closest_d1000", "balanced_d1000", "closest_d4000", "balanced_d4000"},
 	}
-	return scenario.Run(&spec, p.runConfig())
 }
 
-// Fig65 regenerates Figure 6.5: network delay and response time for both
-// strategies at client demand 16000.
-func Fig65(p Params) (*Table, error) {
-	spec := scenario.Spec{
+// Fig64 regenerates Figure 6.4.
+func Fig64(p Params) (*Table, error) {
+	return scenario.Run(SpecFig64(p), p.RunConfig())
+}
+
+// SpecFig65 declares Figure 6.5: network delay and response time for
+// both strategies at client demand 16000.
+func SpecFig65(p Params) *scenario.Spec {
+	return &scenario.Spec{
 		Name:  "fig6.5",
 		Title: "Grid delay components (ms) on daxlist-161 at demand 16000",
 		Kind:  scenario.KindEval,
@@ -55,5 +59,9 @@ func Fig65(p Params) (*Table, error) {
 		Columns: []string{"universe",
 			"net_closest", "resp_closest", "net_balanced", "resp_balanced"},
 	}
-	return scenario.Run(&spec, p.runConfig())
+}
+
+// Fig65 regenerates Figure 6.5.
+func Fig65(p Params) (*Table, error) {
+	return scenario.Run(SpecFig65(p), p.RunConfig())
 }

@@ -2,11 +2,11 @@ package experiments
 
 import "github.com/quorumnet/quorumnet/internal/scenario"
 
-// Fig89 regenerates Figure 8.9: network delay achieved by the iterative
-// algorithm (after its first and second iterations) on a 5×5 Grid as the
-// uniform node capacity varies, against the one-to-one placement
-// baseline.
-func Fig89(p Params) (*Table, error) {
+// SpecFig89 declares Figure 8.9: network delay achieved by the
+// iterative algorithm (after its first and second iterations) on a 5×5
+// Grid as the uniform node capacity varies, against the one-to-one
+// placement baseline.
+func SpecFig89(p Params) *scenario.Spec {
 	k := 5
 	var candidates []int
 	if p.Quick {
@@ -14,7 +14,7 @@ func Fig89(p Params) (*Table, error) {
 		// Limit anchors on quick runs to keep tests fast.
 		candidates = []int{0, 5, 10, 15}
 	}
-	spec := scenario.Spec{
+	return &scenario.Spec{
 		Name:  "fig8.9",
 		Title: "Iterative algorithm network delay (ms), 5x5 Grid on PlanetLab-50",
 		Kind:  scenario.KindIterate,
@@ -31,5 +31,9 @@ func Fig89(p Params) (*Table, error) {
 			Candidates:    candidates,
 		},
 	}
-	return scenario.Run(&spec, p.runConfig())
+}
+
+// Fig89 regenerates Figure 8.9.
+func Fig89(p Params) (*Table, error) {
+	return scenario.Run(SpecFig89(p), p.RunConfig())
 }

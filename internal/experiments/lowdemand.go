@@ -15,16 +15,16 @@ func fig63Systems(maxUniverse int) []scenario.SystemAxis {
 	}
 }
 
-// Fig63 regenerates Figure 6.3: average response time (alpha = 0, i.e.
+// SpecFig63 declares Figure 6.3: average response time (alpha = 0, i.e.
 // network delay) of one-to-one placements under the closest access
 // strategy, as the universe grows, for all four systems plus the
 // singleton baseline.
-func Fig63(p Params) (*Table, error) {
+func SpecFig63(p Params) *scenario.Spec {
 	maxUniverse := 0 // topology size − 1
 	if p.Quick {
 		maxUniverse = 16
 	}
-	spec := scenario.Spec{
+	return &scenario.Spec{
 		Name:  "fig6.3",
 		Title: "Response time (ms) on PlanetLab-50, alpha=0, closest access strategy",
 		Kind:  scenario.KindEval,
@@ -41,5 +41,9 @@ func Fig63(p Params) (*Table, error) {
 		Measures:   []string{"response"},
 		Columns:    []string{"system", "param", "universe", "response_ms"},
 	}
-	return scenario.Run(&spec, p.runConfig())
+}
+
+// Fig63 regenerates Figure 6.3.
+func Fig63(p Params) (*Table, error) {
+	return scenario.Run(SpecFig63(p), p.RunConfig())
 }

@@ -28,16 +28,16 @@ func quProtocol(ts, perSite []int) *scenario.ProtocolSpec {
 	}
 }
 
-// Fig31 regenerates Figure 3.1: the response-time and network-delay
-// surface over (number of clients, universe size).
-func Fig31(p Params) (*Table, error) {
+// SpecFig31 declares Figure 3.1 — the response-time and network-delay
+// surface over (number of clients, universe size) — at the given scale.
+func SpecFig31(p Params) *scenario.Spec {
 	ts := []int{1, 2, 3, 4, 5}
 	perSites := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if p.Quick {
 		ts = []int{1, 3}
 		perSites = []int{1, 5}
 	}
-	spec := scenario.Spec{
+	return &scenario.Spec{
 		Name:  "fig3.1",
 		Title: "Q/U avg response time & network delay (ms) vs clients and universe size",
 		Kind:  scenario.KindProtocol,
@@ -50,19 +50,23 @@ func Fig31(p Params) (*Table, error) {
 		Protocol:   quProtocol(ts, perSites),
 		Columns:    []string{"t", "universe", "clients", "net_delay_ms", "response_ms"},
 	}
-	return scenario.Run(&spec, p.runConfig())
 }
 
-// Fig32a regenerates Figure 3.2a: components at 100 clients while t (and
-// hence the universe size n = 5t+1) grows.
-func Fig32a(p Params) (*Table, error) {
+// Fig31 regenerates Figure 3.1.
+func Fig31(p Params) (*Table, error) {
+	return scenario.Run(SpecFig31(p), p.RunConfig())
+}
+
+// SpecFig32a declares Figure 3.2a: components at 100 clients while t
+// (and hence the universe size n = 5t+1) grows.
+func SpecFig32a(p Params) *scenario.Spec {
 	ts := []int{1, 2, 3, 4, 5}
 	perSite := 10
 	if p.Quick {
 		ts = []int{1, 3}
 		perSite = 4
 	}
-	spec := scenario.Spec{
+	return &scenario.Spec{
 		Name:  "fig3.2a",
 		Title: "Q/U delay components at 100 clients vs faults tolerated",
 		Kind:  scenario.KindProtocol,
@@ -75,17 +79,21 @@ func Fig32a(p Params) (*Table, error) {
 		Protocol:   quProtocol(ts, []int{perSite}),
 		Columns:    []string{"t", "universe", "net_delay_ms", "response_ms"},
 	}
-	return scenario.Run(&spec, p.runConfig())
 }
 
-// Fig32b regenerates Figure 3.2b: components at t = 4 (n = 21) while the
-// client count grows.
-func Fig32b(p Params) (*Table, error) {
+// Fig32a regenerates Figure 3.2a.
+func Fig32a(p Params) (*Table, error) {
+	return scenario.Run(SpecFig32a(p), p.RunConfig())
+}
+
+// SpecFig32b declares Figure 3.2b: components at t = 4 (n = 21) while
+// the client count grows.
+func SpecFig32b(p Params) *scenario.Spec {
 	perSites := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
 	if p.Quick {
 		perSites = []int{1, 6}
 	}
-	spec := scenario.Spec{
+	return &scenario.Spec{
 		Name:  "fig3.2b",
 		Title: "Q/U delay components at t=4 (n=21) vs number of clients",
 		Kind:  scenario.KindProtocol,
@@ -97,5 +105,9 @@ func Fig32b(p Params) (*Table, error) {
 		Protocol:   quProtocol([]int{4}, perSites),
 		Columns:    []string{"clients", "net_delay_ms", "response_ms"},
 	}
-	return scenario.Run(&spec, p.runConfig())
+}
+
+// Fig32b regenerates Figure 3.2b.
+func Fig32b(p Params) (*Table, error) {
+	return scenario.Run(SpecFig32b(p), p.RunConfig())
 }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/quorumnet/quorumnet/internal/scenario"
+)
+
+// TestFigureSpecsShardedByteIdentical is the sharding acceptance
+// criterion: for every one of the ten figure specs in Reproducible
+// mode, the merged sharded table — any shard count 1..8, partials
+// merged in an order different from shard order — is byte-identical to
+// the unsharded Run output.
+func TestFigureSpecsShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes every figure spec 9 times")
+	}
+	p := quickParams()
+	p.Reproducible = true
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			if exp.Spec == nil {
+				t.Fatalf("%s: figure has no declarative spec", exp.ID)
+			}
+			spec := exp.Spec(p)
+			cfg := p.RunConfig()
+			base, err := scenario.Run(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var baseText bytes.Buffer
+			if err := base.Format(&baseText); err != nil {
+				t.Fatal(err)
+			}
+			for shards := 1; shards <= 8; shards++ {
+				space, err := scenario.NewSpace(spec, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				partials := make([]*scenario.Partial, 0, shards)
+				// Execute shards in reverse and merge them in that order:
+				// the merged output must not depend on completion order.
+				for si := shards - 1; si >= 0; si-- {
+					part, err := space.Shard(si, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					partial, err := part.Execute()
+					if err != nil {
+						t.Fatalf("shard %d/%d: %v", si, shards, err)
+					}
+					partials = append(partials, partial)
+				}
+				merged, err := space.Merge(partials)
+				if err != nil {
+					t.Fatalf("merge %d shards: %v", shards, err)
+				}
+				var mergedText bytes.Buffer
+				if err := merged.Format(&mergedText); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(baseText.Bytes(), mergedText.Bytes()) {
+					t.Fatalf("%d-shard merged table differs from unsharded run:\n%s\nvs\n%s",
+						shards, baseText.String(), mergedText.String())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/scenario"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers lists worker addresses ("host:port" or full http:// URLs).
+	Workers []string
+	// Shards is the partition count (0 = one shard per worker). More
+	// shards than workers is fine — workers pick up the next shard as
+	// they finish — and often better for load balance.
+	Shards int
+	// Attempts bounds how many workers one shard is tried on before the
+	// run fails (0 = min(3, len(Workers))). Retries move to the next
+	// worker round-robin, so a dead worker costs one failed attempt per
+	// shard, not the run.
+	Attempts int
+	// PollTimeout is the long-poll duration of each result request
+	// (0 = 30s).
+	PollTimeout time.Duration
+	// ShardTimeout bounds one shard attempt end to end, dispatch through
+	// result (0 = 10m). A worker that accepted a job but hangs charges
+	// one attempt when it expires.
+	ShardTimeout time.Duration
+	// Client overrides the HTTP client (nil = a default without global
+	// timeout; per-request contexts bound every call).
+	Client *http.Client
+	// Logf, when set, receives dispatch/retry/completion logs.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) pollTimeout() time.Duration {
+	if c.PollTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.PollTimeout
+}
+
+func (c Config) shardTimeout() time.Duration {
+	if c.ShardTimeout <= 0 {
+		return 10 * time.Minute
+	}
+	return c.ShardTimeout
+}
+
+func (c Config) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	if len(c.Workers) < 3 {
+		return len(c.Workers)
+	}
+	return 3
+}
+
+// Coordinator runs scenarios across a fleet of workers: partition,
+// dispatch, retry, merge. Safe for sequential reuse across runs.
+type Coordinator struct {
+	cfg    Config
+	addrs  []string
+	client *http.Client
+}
+
+// New validates the worker list and builds a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers")
+	}
+	addrs := make([]string, len(cfg.Workers))
+	for i, a := range cfg.Workers {
+		a = strings.TrimSuffix(strings.TrimSpace(a), "/")
+		if a == "" {
+			return nil, fmt.Errorf("fleet: empty worker address")
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		addrs[i] = a
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{cfg: cfg, addrs: addrs, client: client}, nil
+}
+
+func (c *Coordinator) logf(format string, args ...interface{}) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run partitions the spec, executes every shard on the fleet, and
+// merges the partials. The merged table is byte-identical to a local
+// unsharded scenario.Run of the same spec and config, whatever order
+// the shards complete in.
+func (c *Coordinator) Run(spec *scenario.Spec, cfg scenario.RunConfig) (*scenario.Table, error) {
+	space, err := scenario.NewSpace(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	shards := c.cfg.Shards
+	if shards <= 0 {
+		shards = len(c.addrs)
+	}
+	c.logf("fleet: %s: %d points across %d shards on %d workers",
+		spec.Name, space.NumPoints(), shards, len(c.addrs))
+
+	start := time.Now()
+	partials := make([]*scenario.Partial, shards)
+	errs := make([]error, shards)
+	var done sync.WaitGroup
+	var completed int32
+	var mu sync.Mutex
+	for j := 0; j < shards; j++ {
+		done.Add(1)
+		go func(j int) {
+			defer done.Done()
+			partials[j], errs[j] = c.runShard(spec, cfg, j, shards)
+			if errs[j] == nil {
+				mu.Lock()
+				completed++
+				n := completed
+				mu.Unlock()
+				c.logf("fleet: %s: shard %d/%d done (%d/%d, %d rows, %.1fs)",
+					spec.Name, j, shards, n, shards, len(partials[j].Table.Rows), time.Since(start).Seconds())
+			}
+		}(j)
+	}
+	done.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s: shard %d/%d: %w", spec.Name, j, shards, err)
+		}
+	}
+	return space.Merge(partials)
+}
+
+// runShard tries one shard on successive workers until one returns a
+// partial.
+func (c *Coordinator) runShard(spec *scenario.Spec, cfg scenario.RunConfig, shard, shards int) (*scenario.Partial, error) {
+	attempts := c.cfg.attempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		addr := c.addrs[(shard+a)%len(c.addrs)]
+		partial, err := c.attemptShard(addr, spec, cfg, shard, shards)
+		if err == nil {
+			return partial, nil
+		}
+		lastErr = fmt.Errorf("worker %s: %w", addr, err)
+		c.logf("fleet: %s: shard %d/%d attempt %d on %s failed: %v",
+			spec.Name, shard, shards, a+1, addr, err)
+	}
+	return nil, fmt.Errorf("all %d attempts failed, last: %w", attempts, lastErr)
+}
+
+// attemptShard dispatches one shard to one worker and long-polls for
+// its result.
+func (c *Coordinator) attemptShard(addr string, spec *scenario.Spec, cfg scenario.RunConfig, shard, shards int) (*scenario.Partial, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shardTimeout())
+	defer cancel()
+
+	body, err := json.Marshal(&ShardRequest{Spec: spec, Config: Settings(cfg), Shard: shard, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	var sub ShardResponse
+	if err := c.doJSON(ctx, http.MethodPost, addr+"/v1/shards", body, &sub); err != nil {
+		return nil, fmt.Errorf("submitting: %w", err)
+	}
+	if sub.ID == "" {
+		return nil, fmt.Errorf("worker returned no job id")
+	}
+
+	url := fmt.Sprintf("%s/v1/shards/%s/result?timeout=%s", addr, sub.ID, c.cfg.pollTimeout())
+	for {
+		var res ResultResponse
+		if err := c.doJSON(ctx, http.MethodGet, url, nil, &res); err != nil {
+			return nil, fmt.Errorf("polling %s: %w", sub.ID, err)
+		}
+		switch res.Status {
+		case StatusRunning:
+			continue
+		case StatusDone:
+			if res.Partial == nil || res.Partial.Table == nil {
+				return nil, fmt.Errorf("job %s done without a partial table", sub.ID)
+			}
+			return res.Partial, nil
+		case StatusError:
+			return nil, fmt.Errorf("job %s: %s", sub.ID, res.Error)
+		default:
+			return nil, fmt.Errorf("job %s: unknown status %q", sub.ID, res.Status)
+		}
+	}
+}
+
+// doJSON performs one request and decodes the JSON reply, surfacing
+// {"error": ...} bodies as errors.
+func (c *Coordinator) doJSON(ctx context.Context, method, url string, body []byte, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/scenario"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// testSpec is a small eval scenario with enough points (5) to spread
+// across workers.
+func testSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name: "fleet-test",
+		Kind: scenario.KindEval,
+		Topology: scenario.TopologySpec{
+			Source: "synth",
+			Seed:   11,
+			Synth: &topology.GenConfig{
+				Name:      "fleet-test-12",
+				Inflation: 1.4,
+				Regions: []topology.RegionSpec{
+					{Name: "west", Count: 6, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+					{Name: "east", Count: 6, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+				},
+			},
+		},
+		Systems:    []scenario.SystemAxis{{Family: "singleton"}, {Family: "grid", Params: []int{2, 3}}, {Family: "majority", Params: []int{1, 2}}},
+		Demands:    []float64{0, 4000},
+		Strategies: []string{"closest", "lp"},
+		Measures:   []string{"response"},
+	}
+}
+
+func testCfg() scenario.RunConfig {
+	return scenario.RunConfig{Reproducible: true}
+}
+
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewWorker(WorkerOptions{MaxWait: time.Second}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFleetRunByteIdentical: a two-worker fleet run merges to the exact
+// bytes of a local unsharded run, with more shards than workers.
+func TestFleetRunByteIdentical(t *testing.T) {
+	spec, cfg := testSpec(), testCfg()
+	base, err := scenario.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := startWorker(t), startWorker(t)
+	coord, err := New(Config{
+		Workers: []string{w1.URL, w2.URL},
+		Shards:  3,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("fleet table differs:\n%v\nvs\n%v", base.Rows, got.Rows)
+	}
+	var baseText, gotText bytes.Buffer
+	if err := base.Format(&baseText); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Format(&gotText); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseText.Bytes(), gotText.Bytes()) {
+		t.Fatal("fleet formatted output differs from local run")
+	}
+}
+
+// TestFleetRetriesDeadWorker: shards assigned to an unreachable worker
+// are retried on the live one and the run still merges correctly.
+func TestFleetRetriesDeadWorker(t *testing.T) {
+	spec, cfg := testSpec(), testCfg()
+	base, err := scenario.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close() // now refuses connections
+	live := startWorker(t)
+	coord, err := New(Config{
+		Workers:  []string{dead.URL, live.URL},
+		Shards:   2,
+		Attempts: 2,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Rows, got.Rows) {
+		t.Fatal("retried fleet run differs from local run")
+	}
+}
+
+// TestFleetSurfacesJobErrors: a spec that enumerates but cannot execute
+// (its topology file is missing) fails the run with the worker's error.
+func TestFleetSurfacesJobErrors(t *testing.T) {
+	spec := testSpec()
+	spec.Topology = scenario.TopologySpec{Source: "file", Path: "/nonexistent/topo.txt"}
+	live := startWorker(t)
+	coord, err := New(Config{Workers: []string{live.URL}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Run(spec, testCfg())
+	if err == nil {
+		t.Fatal("missing topology file did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("error %q does not carry the worker-side cause", err)
+	}
+}
+
+// TestWorkerHTTPValidation covers the protocol edges: malformed
+// submissions, unknown jobs, bad shard ranges, long-poll running
+// status, and the job list.
+func TestWorkerHTTPValidation(t *testing.T) {
+	srv := startWorker(t)
+	post := func(body string) (*http.Response, error) {
+		return http.Post(srv.URL+"/v1/shards", "application/json", strings.NewReader(body))
+	}
+
+	resp, err := post(`{"bogus": 1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	specJSON, err := json.Marshal(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = post(`{"spec": ` + string(specJSON) + `, "shard": 5, "shards": 2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range shard: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/shards/job-99/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// A valid submission long-polled with a tiny timeout may report
+	// "running"; polling until done must produce the partial.
+	resp, err = post(`{"spec": ` + string(specJSON) + `, "config": {"reproducible": true}, "shard": 0, "shards": 2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: HTTP %d, id %q", resp.StatusCode, sub.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err = http.Get(srv.URL + "/v1/shards/" + sub.ID + "/result?timeout=50ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res ResultResponse
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if res.Status == StatusDone {
+			if res.Partial == nil || len(res.Partial.Points) == 0 {
+				t.Fatalf("done result without partial: %+v", res)
+			}
+			break
+		}
+		if res.Status != StatusRunning {
+			t.Fatalf("unexpected status %q (%s)", res.Status, res.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+	}
+
+	// Delivered jobs are evicted: the list is empty again and a second
+	// result fetch is a 404 (a coordinator that lost the response
+	// re-dispatches the shard instead).
+	resp, err = http.Get(srv.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 0 {
+		t.Errorf("delivered job not evicted: %+v", list.Jobs)
+	}
+	resp, err = http.Get(srv.URL + "/v1/shards/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("re-fetch of delivered job: HTTP %d, want 404", resp.StatusCode)
+	}
+}

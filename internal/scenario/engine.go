@@ -12,10 +12,8 @@ import (
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/faults"
 	"github.com/quorumnet/quorumnet/internal/lp"
-	"github.com/quorumnet/quorumnet/internal/par"
 	"github.com/quorumnet/quorumnet/internal/placement"
 	"github.com/quorumnet/quorumnet/internal/plan"
-	"github.com/quorumnet/quorumnet/internal/protocol"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/strategy"
 	"github.com/quorumnet/quorumnet/internal/topology"
@@ -38,6 +36,44 @@ type RunConfig struct {
 	// QUDurationMS is the simulated length of each protocol run
 	// (0 = 20000).
 	QUDurationMS float64
+	// Progress, when set, receives a point-completion event after each
+	// work unit finishes. It is called concurrently from pool workers
+	// and must be safe for concurrent use. Progress never travels over
+	// the fleet wire; workers report their own.
+	Progress func(Progress) `json:"-"`
+}
+
+// Settings is the serializable identity of a RunConfig: the fields
+// that determine a run's output. Every Partial is stamped with the
+// settings it executed under, and Merge rejects partials whose
+// settings differ from its own — mixing seeds or solver modes across
+// shards would silently corrupt the merged table.
+type Settings struct {
+	Seed         int64   `json:"seed,omitempty"`
+	Reproducible bool    `json:"reproducible,omitempty"`
+	QURuns       int     `json:"qu_runs,omitempty"`
+	QUDurationMS float64 `json:"qu_duration_ms,omitempty"`
+}
+
+// Settings extracts the output-determining identity of the config
+// (Progress handlers stay local to each process).
+func (c RunConfig) Settings() Settings {
+	return Settings{
+		Seed:         c.Seed,
+		Reproducible: c.Reproducible,
+		QURuns:       c.QURuns,
+		QUDurationMS: c.QUDurationMS,
+	}
+}
+
+// RunConfig expands wire settings back into a run configuration.
+func (s Settings) RunConfig() RunConfig {
+	return RunConfig{
+		Seed:         s.Seed,
+		Reproducible: s.Reproducible,
+		QURuns:       s.QURuns,
+		QUDurationMS: s.QUDurationMS,
+	}
 }
 
 func (c RunConfig) quRuns() int {
@@ -61,46 +97,25 @@ func (c RunConfig) lpOptions() lp.Options {
 	return lp.Options{Pricing: lp.PricingPartial}
 }
 
-func (c RunConfig) sweepConfig(workers int) strategy.SweepConfig {
-	return strategy.SweepConfig{Reproducible: c.Reproducible, Workers: workers}
-}
-
-// Run validates the spec, expands its axes into plan points, executes
-// them, and assembles the result table.
+// Run validates the spec, expands its point-space, executes every point,
+// and assembles the result table. It is the single-shard composition of
+// the engine's three layers — partition (NewSpace/Shard), execute
+// (Partition.Execute), merge (Space.Merge) — and produces output
+// byte-identical to any sharded execution of the same spec and config.
 func Run(spec *Spec, cfg RunConfig) (*Table, error) {
-	if err := spec.Validate(); err != nil {
+	space, err := NewSpace(spec, cfg)
+	if err != nil {
 		return nil, err
 	}
-	topo, err := buildTopology(spec.Topology, cfg)
+	part, err := space.Shard(0, 1)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		return nil, err
 	}
-	tb := &Table{ID: spec.Name, Title: spec.Title, Notes: spec.Notes}
-	switch spec.Kind {
-	case KindEval:
-		err = runEval(spec, cfg, topo, tb)
-	case KindSweep:
-		err = runSweep(spec, cfg, topo, tb)
-	case KindIterate:
-		err = runIterate(spec, cfg, topo, tb)
-	case KindProtocol:
-		err = runProtocol(spec, cfg, topo, tb)
-	case KindTimeline:
-		err = runTimeline(spec, cfg, topo, tb)
-	default:
-		err = fmt.Errorf("unknown kind %q", spec.Kind)
-	}
+	partial, err := part.Execute()
 	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		return nil, err
 	}
-	if len(spec.Columns) > 0 {
-		if len(spec.Columns) != len(tb.Columns) {
-			return nil, fmt.Errorf("scenario %q: %d explicit columns for %d derived (%v)",
-				spec.Name, len(spec.Columns), len(tb.Columns), tb.Columns)
-		}
-		tb.Columns = spec.Columns
-	}
-	return tb, nil
+	return space.Merge([]*Partial{partial})
 }
 
 func buildTopology(ts TopologySpec, cfg RunConfig) (*topology.Topology, error) {
@@ -209,55 +224,6 @@ func trimFloat(v float64) string {
 }
 
 // ---------------------------------------------------------------- eval
-
-func runEval(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
-	points := expandSystems(spec.Systems, topo.Size())
-	if len(points) == 0 {
-		return fmt.Errorf("system axes expand to no systems")
-	}
-	rowCols := spec.RowColumns
-	if rowCols == nil {
-		rowCols = []string{"system", "param", "universe"}
-	}
-	tb.Columns = append([]string(nil), rowCols...)
-	for _, d := range spec.Demands {
-		for _, st := range spec.Strategies {
-			for _, m := range spec.Measures {
-				name := measureName(m)
-				if len(spec.Strategies) > 1 {
-					name += "_" + st
-				}
-				if len(spec.Demands) > 1 {
-					name += "_d" + trimFloat(d)
-				}
-				tb.Columns = append(tb.Columns, name)
-			}
-		}
-	}
-
-	// Rows fan out over the engine pool; when more than one row runs at a
-	// time, the per-row anchor searches go serial so the pools do not
-	// multiply. Either way the output is identical.
-	rowPool := poolWidth(spec.Workers, len(points))
-	innerWorkers := spec.Workers
-	if rowPool > 1 {
-		innerWorkers = 1
-	}
-	rows := make([][]string, len(points))
-	errs := make([]error, len(points))
-	par.For(len(points), spec.Workers, func(i int) {
-		rows[i], errs[i] = evalRow(spec, cfg, topo, points[i], innerWorkers)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("system %s/%d: %w", points[i].spec.Family, points[i].spec.Param, err)
-		}
-	}
-	for _, row := range rows {
-		tb.AddRow(row...)
-	}
-	return nil
-}
 
 func evalRow(spec *Spec, cfg RunConfig, topo *topology.Topology, pt systemPoint, workers int) ([]string, error) {
 	sys, err := pt.spec.Build()
@@ -446,161 +412,6 @@ func resolveStrategy(name string, e *core.Eval, spec *Spec, cfg RunConfig) (core
 	}
 }
 
-// ---------------------------------------------------------------- sweep
-
-func runSweep(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
-	points := expandSystems(spec.Systems, topo.Size())
-	if len(points) == 0 {
-		return fmt.Errorf("system axes expand to no systems")
-	}
-	variants := spec.Sweep.variants()
-	rowCols := spec.RowColumns
-	if rowCols == nil {
-		rowCols = []string{"universe", "capacity"}
-	}
-	tb.Columns = append([]string(nil), rowCols...)
-	for _, v := range variants {
-		if len(variants) > 1 {
-			tb.Columns = append(tb.Columns, "net_"+v, "resp_"+v)
-		} else {
-			tb.Columns = append(tb.Columns, "net_delay_ms", "response_ms")
-		}
-	}
-
-	// Systems run serially: each sweep already fans its capacity points
-	// out over the worker pool.
-	for _, pt := range points {
-		sys, err := pt.spec.Build()
-		if err != nil {
-			return err
-		}
-		f, err := buildPlacement(spec, cfg, topo, sys, spec.Workers)
-		if err != nil {
-			return err
-		}
-		e, err := core.NewEval(topo, sys, f, core.AlphaForDemand(spec.Sweep.Demand))
-		if err != nil {
-			return err
-		}
-		lopt := sys.OptimalLoad()
-		values := strategy.SweepValues(lopt, spec.Sweep.Points)
-		results := make([][]strategy.SweepPoint, len(variants))
-		for vi, v := range variants {
-			switch v {
-			case "uniform":
-				results[vi], err = strategy.UniformSweepCfg(e, values, cfg.sweepConfig(spec.Workers))
-			case "nonuniform":
-				results[vi], err = strategy.NonUniformSweepCfg(e, lopt, values, cfg.sweepConfig(spec.Workers))
-			default:
-				err = fmt.Errorf("unknown sweep variant %q", v)
-			}
-			if err != nil {
-				return err
-			}
-		}
-		for i := range values {
-			var row []string
-			for _, rc := range rowCols {
-				switch rc {
-				case "universe":
-					row = append(row, itoa(sys.UniverseSize()))
-				case "capacity":
-					row = append(row, f3(values[i]))
-				default:
-					return fmt.Errorf("unknown row column %q for sweep scenario", rc)
-				}
-			}
-			for vi := range variants {
-				row = append(row, sweepCells(results[vi][i])...)
-			}
-			tb.AddRow(row...)
-		}
-	}
-	return nil
-}
-
-func sweepCells(pt strategy.SweepPoint) []string {
-	if pt.Infeasible {
-		return []string{"infeasible", "infeasible"}
-	}
-	return []string{f2(pt.NetDelay), f2(pt.Response)}
-}
-
-// -------------------------------------------------------------- iterate
-
-func runIterate(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
-	points := expandSystems(spec.Systems, topo.Size())
-	if len(points) != 1 {
-		return fmt.Errorf("iterate scenario needs exactly one system, axes expand to %d", len(points))
-	}
-	sys, err := points[0].spec.Build()
-	if err != nil {
-		return err
-	}
-
-	// One-to-one baseline under the balanced strategy (the iterative
-	// algorithm's uniform starting strategy).
-	oto, err := buildPlacement(spec, cfg, topo, sys, spec.Workers)
-	if err != nil {
-		return err
-	}
-	eOto, err := core.NewEval(topo, sys, oto, 0)
-	if err != nil {
-		return err
-	}
-	otoDelay := eOto.AvgNetworkDelay(core.BalancedStrategy{})
-
-	maxIter := spec.Iterate.MaxIterations
-	if maxIter <= 0 {
-		maxIter = 2
-	}
-	alpha := core.AlphaForDemand(spec.Iterate.Demand)
-	values := strategy.SweepValues(sys.OptimalLoad(), spec.Iterate.Points)
-
-	// Each capacity value runs the full iterative algorithm independently
-	// on its own topology clone; the sweep fans out over the bounded pool
-	// and results land in value order regardless of scheduling.
-	type point struct {
-		iter1, iter2 float64
-		err          error
-	}
-	pts := make([]point, len(values))
-	par.For(len(values), spec.Workers, func(i int) {
-		tp := topo.Clone()
-		if err := tp.SetUniformCapacity(values[i]); err != nil {
-			pts[i].err = err
-			return
-		}
-		res, err := placement.Iterate(tp, sys, placement.IterateConfig{
-			Alpha:         alpha,
-			MaxIterations: maxIter,
-			Candidates:    spec.Iterate.Candidates,
-			LP:            cfg.lpOptions(),
-			// The capacity points already saturate the pool; nesting the
-			// anchor search's pool would multiply live LP workspaces.
-			Workers: 1,
-		})
-		if err != nil {
-			pts[i].err = err
-			return
-		}
-		pts[i].iter1 = res.History[0].Phase2NetDelay
-		pts[i].iter2 = pts[i].iter1
-		if len(res.History) > 1 {
-			pts[i].iter2 = res.History[1].Phase2NetDelay
-		}
-	})
-
-	tb.Columns = []string{"capacity", "iter1_net_delay", "iter2_net_delay", "one_to_one"}
-	for i, c := range values {
-		if pts[i].err != nil {
-			return pts[i].err
-		}
-		tb.AddRow(f3(c), f2(pts[i].iter1), f2(pts[i].iter2), f2(otoDelay))
-	}
-	return nil
-}
-
 // ------------------------------------------------------------- protocol
 
 // RepresentativeClients picks the k nodes whose expected network delay to
@@ -635,101 +446,22 @@ func RepresentativeClients(e *core.Eval, k int) ([]int, error) {
 	return out, nil
 }
 
-func runProtocol(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
-	ps := spec.Protocol
-	type setup struct {
-		sys         quorum.Threshold
-		serverSites []int
-		clientSites []int
-	}
-	setups := make([]setup, len(ps.Ts))
-	for i, t := range ps.Ts {
-		sys, err := quorum.QUMajority(t)
-		if err != nil {
-			return err
-		}
-		f, err := placement.MajorityOneToOne(topo, sys, placement.Options{Workers: spec.Workers})
-		if err != nil {
-			return err
-		}
-		e, err := core.NewEval(topo, sys, f, 0)
-		if err != nil {
-			return err
-		}
-		clients, err := RepresentativeClients(e, ps.clientSites())
-		if err != nil {
-			return err
-		}
-		setups[i] = setup{sys: sys, serverSites: f.Targets(), clientSites: clients}
-	}
+// ---------------------------------------------------------------- sweep
 
-	rowCols := spec.RowColumns
-	if rowCols == nil {
-		rowCols = []string{"t", "universe", "clients"}
+func sweepCells(pt strategy.SweepPoint) []string {
+	if pt.Infeasible {
+		return []string{"infeasible", "infeasible"}
 	}
-	tb.Columns = append(append([]string(nil), rowCols...), "net_delay_ms", "response_ms")
-
-	// The (t, clients) grid fans out over the pool: each point is an
-	// independent, seeded simulation.
-	type point struct {
-		m   *protocol.Metrics
-		err error
-	}
-	n := len(ps.Ts) * len(ps.PerSite)
-	pts := make([]point, n)
-	par.For(n, spec.Workers, func(i int) {
-		s := setups[i/len(ps.PerSite)]
-		perSite := ps.PerSite[i%len(ps.PerSite)]
-		var clients []int
-		for _, site := range s.clientSites {
-			for c := 0; c < perSite; c++ {
-				clients = append(clients, site)
-			}
-		}
-		pts[i].m, pts[i].err = protocol.RunSimAveraged(protocol.Config{
-			Topo:          topo,
-			ServerSites:   s.serverSites,
-			QuorumSize:    s.sys.QuorumSize(),
-			ClientSites:   clients,
-			ServiceTimeMS: ps.serviceTime(),
-			LinkTxMS:      ps.linkTx(),
-			DurationMS:    cfg.quDuration(),
-			Seed:          cfg.Seed,
-		}, cfg.quRuns())
-	})
-
-	for i := 0; i < n; i++ {
-		if pts[i].err != nil {
-			return pts[i].err
-		}
-		s := setups[i/len(ps.PerSite)]
-		perSite := ps.PerSite[i%len(ps.PerSite)]
-		var row []string
-		for _, rc := range rowCols {
-			switch rc {
-			case "t":
-				row = append(row, itoa(ps.Ts[i/len(ps.PerSite)]))
-			case "universe":
-				row = append(row, itoa(s.sys.UniverseSize()))
-			case "clients":
-				row = append(row, itoa(perSite*ps.clientSites()))
-			default:
-				return fmt.Errorf("unknown row column %q for protocol scenario", rc)
-			}
-		}
-		row = append(row, f2(pts[i].m.AvgNetDelayMS), f2(pts[i].m.AvgResponseMS))
-		tb.AddRow(row...)
-	}
-	return nil
+	return []string{f2(pt.NetDelay), f2(pt.Response)}
 }
 
 // ------------------------------------------------------------- timeline
 
-func runTimeline(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) error {
-	systems := expandSystems(spec.Systems, topo.Size())
-	if len(systems) != 1 {
-		return fmt.Errorf("timeline scenario drives one planner; system axes expand to %d systems", len(systems))
-	}
+// runTimelineRows drives one planner through the spec's steps and
+// returns the rows of the timeline table (a timeline is a single
+// indivisible point of the space: each step re-plans the previous
+// step's state).
+func runTimelineRows(spec *Spec, cfg RunConfig, topo *topology.Topology, systems []systemPoint) ([][]string, error) {
 	strat := plan.StratClosest
 	if len(spec.Strategies) > 0 {
 		strat = plan.StrategyKind(spec.Strategies[0])
@@ -747,13 +479,10 @@ func runTimeline(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) 
 		Workers:      spec.Workers,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	tb.Columns = []string{"step", "sites", "response_ms", "net_delay_ms", "max_load", "replanned"}
-	if spec.CompareUnreplanned {
-		tb.Columns = append(tb.Columns, "unreplanned_ms")
-	}
+	var rows [][]string
 	addRow := func(label string, res *plan.Snapshot, unreplanned string) {
 		replanned := strings.Join(res.RecomputedNames(), ",")
 		if replanned == "" {
@@ -763,35 +492,35 @@ func runTimeline(spec *Spec, cfg RunConfig, topo *topology.Topology, tb *Table) 
 		if spec.CompareUnreplanned {
 			row = append(row, unreplanned)
 		}
-		tb.AddRow(row...)
+		rows = append(rows, row)
 	}
 
 	res, err := p.Plan()
 	if err != nil {
-		return fmt.Errorf("initial plan: %w", err)
+		return nil, fmt.Errorf("initial plan: %w", err)
 	}
 	addRow("initial", res, "-")
 	prev := res
 
 	for _, step := range spec.Timeline {
 		if err := applyStep(p, step); err != nil {
-			return fmt.Errorf("step %q: %w", step.Label, err)
+			return nil, fmt.Errorf("step %q: %w", step.Label, err)
 		}
 		res, err := p.Plan()
 		if err != nil {
-			return fmt.Errorf("step %q: %w", step.Label, err)
+			return nil, fmt.Errorf("step %q: %w", step.Label, err)
 		}
 		unreplanned := "-"
 		if spec.CompareUnreplanned {
 			unreplanned, err = unreplannedCell(prev, step, res)
 			if err != nil {
-				return fmt.Errorf("step %q: un-replanned evaluation: %w", step.Label, err)
+				return nil, fmt.Errorf("step %q: un-replanned evaluation: %w", step.Label, err)
 			}
 		}
 		addRow(step.Label, res, unreplanned)
 		prev = res
 	}
-	return nil
+	return rows, nil
 }
 
 // unreplannedCell evaluates the deployment that kept the previous

@@ -1,0 +1,457 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/par"
+	"github.com/quorumnet/quorumnet/internal/placement"
+	"github.com/quorumnet/quorumnet/internal/protocol"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/strategy"
+)
+
+// Progress is one execution progress event: a point of a partition
+// finished. Handlers receive events concurrently from pool workers.
+type Progress struct {
+	Scenario string
+	// Shard and Shards identify the partition being executed.
+	Shard  int
+	Shards int
+	// Done of Total points of this partition have completed.
+	Done  int
+	Total int
+	// Point is the work unit that just finished.
+	Point Point
+	// Elapsed is the time since the partition's execution started.
+	Elapsed time.Duration
+}
+
+// RowTag places one partial row into the merged table: the ordinal of
+// the point that produced it and the row's sequence within that point.
+type RowTag struct {
+	Point int `json:"point"`
+	Seq   int `json:"seq"`
+}
+
+// Partial is the result of executing one partition: a table fragment
+// whose rows are tagged for ordinal merge. It is the payload fleet
+// workers return, serialized through Table's stable JSON encoding.
+type Partial struct {
+	// Scenario names the spec; Merge rejects partials of another spec.
+	Scenario string `json:"scenario"`
+	// Config records the settings the partition executed under; Merge
+	// rejects partials from a different configuration.
+	Config Settings `json:"config"`
+	Shard  int      `json:"shard"`
+	Shards int      `json:"shards"`
+	// Points lists the executed ordinals; Merge asserts every ordinal of
+	// the space appears exactly once across the merged partials.
+	Points []int `json:"points"`
+	// Tags holds one entry per Table row.
+	Tags  []RowTag `json:"tags"`
+	Table *Table   `json:"table"`
+}
+
+// Execute runs the partition's points on the spec's worker pool and
+// returns the tagged partial table. Output depends only on the spec,
+// the RunConfig, and the partition's point set — never on worker counts
+// or scheduling — so merged shards reproduce an unsharded run exactly.
+func (p *Partition) Execute() (*Partial, error) {
+	s := p.space
+	spec, cfg := s.spec, s.cfg
+	start := time.Now()
+	var done atomic.Int64
+	report := func(i int) {
+		n := int(done.Add(1))
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				Scenario: spec.Name,
+				Shard:    p.Shard,
+				Shards:   p.Shards,
+				Done:     n,
+				Total:    len(p.Points),
+				Point:    p.Points[i],
+				Elapsed:  time.Since(start),
+			})
+		}
+	}
+
+	rows := make([][][]string, len(p.Points))
+	var err error
+	switch spec.Kind {
+	case KindEval:
+		err = p.executeEval(rows, report)
+	case KindSweep:
+		err = p.executeSweep(rows, report)
+	case KindIterate:
+		err = p.executeIterate(rows, report)
+	case KindProtocol:
+		err = p.executeProtocol(rows, report)
+	case KindTimeline:
+		err = p.executeTimeline(rows, report)
+	default:
+		err = fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+
+	out := &Partial{
+		Scenario: spec.Name,
+		Config:   cfg.Settings(),
+		Shard:    p.Shard,
+		Shards:   p.Shards,
+		Points:   []int{},
+		Tags:     []RowTag{},
+		Table: &Table{
+			ID:      spec.Name,
+			Title:   spec.Title,
+			Columns: append([]string(nil), s.finalColumns()...),
+		},
+	}
+	for li, pt := range p.Points {
+		out.Points = append(out.Points, pt.Ordinal)
+		for j, row := range rows[li] {
+			out.Tags = append(out.Tags, RowTag{Point: pt.Ordinal, Seq: j})
+			out.Table.Rows = append(out.Table.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// firstErr returns the first non-nil error in point order.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------- eval
+
+func (p *Partition) executeEval(rows [][][]string, report func(int)) error {
+	s := p.space
+	spec, cfg := s.spec, s.cfg
+	n := len(p.Points)
+	// Points fan out over the engine pool; when more than one runs at a
+	// time, the per-row anchor searches go serial so the pools do not
+	// multiply. Either way the output is identical.
+	rowPool := poolWidth(spec.Workers, n)
+	innerWorkers := spec.Workers
+	if rowPool > 1 {
+		innerWorkers = 1
+	}
+	errs := make([]error, n)
+	par.For(n, spec.Workers, func(i int) {
+		pt := s.systems[p.Points[i].Index]
+		row, err := evalRow(spec, cfg, s.topo, pt, innerWorkers)
+		if err != nil {
+			errs[i] = fmt.Errorf("system %s/%d: %w", pt.spec.Family, pt.spec.Param, err)
+			return
+		}
+		rows[i] = [][]string{row}
+		report(i)
+	})
+	return firstErr(errs)
+}
+
+// ---------------------------------------------------------------- sweep
+
+// sweepSetup is the per-system state sweep chunks share: the placed,
+// prewarmed evaluation and the capacity grid.
+type sweepSetup struct {
+	sys    quorum.System
+	e      *core.Eval
+	lopt   float64
+	values []float64
+}
+
+// sweepSetups builds setups for every system the partition touches, in
+// system order (deterministic and serial: chunks of one system share the
+// evaluation read-only afterwards).
+func (p *Partition) sweepSetups() (map[int]*sweepSetup, error) {
+	s := p.space
+	spec, cfg := s.spec, s.cfg
+	setups := map[int]*sweepSetup{}
+	var order []int
+	for _, pt := range p.Points {
+		if _, ok := setups[pt.Index]; !ok {
+			setups[pt.Index] = nil
+			order = append(order, pt.Index)
+		}
+	}
+	sort.Ints(order)
+	for _, si := range order {
+		pt := s.systems[si]
+		sys, err := pt.spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		f, err := buildPlacement(spec, cfg, s.topo, sys, spec.Workers)
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.NewEval(s.topo, sys, f, core.AlphaForDemand(spec.Sweep.Demand))
+		if err != nil {
+			return nil, err
+		}
+		// Populate the evaluator's lazy caches before chunks share it.
+		e.Prewarm()
+		lopt := sys.OptimalLoad()
+		setups[si] = &sweepSetup{sys: sys, e: e, lopt: lopt, values: strategy.SweepValues(lopt, spec.Sweep.Points)}
+	}
+	return setups, nil
+}
+
+func (p *Partition) executeSweep(rows [][][]string, report func(int)) error {
+	s := p.space
+	spec, cfg := s.spec, s.cfg
+	variants := spec.Sweep.variants()
+	rowCols := spec.RowColumns
+	if rowCols == nil {
+		rowCols = []string{"universe", "capacity"}
+	}
+	setups, err := p.sweepSetups()
+	if err != nil {
+		return err
+	}
+	// Each point is one warm-start chunk of one system's sweep; running
+	// it alone reproduces the exact solve chain of the unsharded sweep,
+	// whose chunk boundaries depend only on the point count.
+	swCfg := strategy.SweepConfig{Reproducible: cfg.Reproducible, Workers: 1}
+	n := len(p.Points)
+	errs := make([]error, n)
+	par.For(n, spec.Workers, func(i int) {
+		pt := p.Points[i]
+		su := setups[pt.Index]
+		lo, hi := strategy.ChunkBounds(pt.Sub, len(su.values))
+		chunk := su.values[lo:hi]
+		results := make([][]strategy.SweepPoint, len(variants))
+		for vi, v := range variants {
+			var err error
+			switch v {
+			case "uniform":
+				results[vi], err = strategy.UniformSweepCfg(su.e, chunk, swCfg)
+			case "nonuniform":
+				results[vi], err = strategy.NonUniformSweepCfg(su.e, su.lopt, chunk, swCfg)
+			default:
+				err = fmt.Errorf("unknown sweep variant %q", v)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+		}
+		out := make([][]string, 0, len(chunk))
+		for j := range chunk {
+			var row []string
+			for _, rc := range rowCols {
+				switch rc {
+				case "universe":
+					row = append(row, itoa(su.sys.UniverseSize()))
+				case "capacity":
+					row = append(row, f3(chunk[j]))
+				default:
+					errs[i] = fmt.Errorf("unknown row column %q for sweep scenario", rc)
+					return
+				}
+			}
+			for vi := range variants {
+				row = append(row, sweepCells(results[vi][j])...)
+			}
+			out = append(out, row)
+		}
+		rows[i] = out
+		report(i)
+	})
+	return firstErr(errs)
+}
+
+// -------------------------------------------------------------- iterate
+
+func (p *Partition) executeIterate(rows [][][]string, report func(int)) error {
+	if len(p.Points) == 0 {
+		return nil
+	}
+	s := p.space
+	spec, cfg := s.spec, s.cfg
+	sys, err := s.systems[0].spec.Build()
+	if err != nil {
+		return err
+	}
+
+	// One-to-one baseline under the balanced strategy (the iterative
+	// algorithm's uniform starting strategy). Every shard recomputes it —
+	// it is deterministic and cheap next to one iterate point.
+	oto, err := buildPlacement(spec, cfg, s.topo, sys, spec.Workers)
+	if err != nil {
+		return err
+	}
+	eOto, err := core.NewEval(s.topo, sys, oto, 0)
+	if err != nil {
+		return err
+	}
+	otoDelay := eOto.AvgNetworkDelay(core.BalancedStrategy{})
+
+	maxIter := spec.Iterate.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 2
+	}
+	alpha := core.AlphaForDemand(spec.Iterate.Demand)
+	values := strategy.SweepValues(sys.OptimalLoad(), spec.Iterate.Points)
+
+	// Each capacity value runs the full iterative algorithm independently
+	// on its own topology clone.
+	n := len(p.Points)
+	errs := make([]error, n)
+	par.For(n, spec.Workers, func(i int) {
+		vi := p.Points[i].Index
+		tp := s.topo.Clone()
+		if err := tp.SetUniformCapacity(values[vi]); err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := placement.Iterate(tp, sys, placement.IterateConfig{
+			Alpha:         alpha,
+			MaxIterations: maxIter,
+			Candidates:    spec.Iterate.Candidates,
+			LP:            cfg.lpOptions(),
+			// The capacity points already saturate the pool; nesting the
+			// anchor search's pool would multiply live LP workspaces.
+			Workers: 1,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		iter1 := res.History[0].Phase2NetDelay
+		iter2 := iter1
+		if len(res.History) > 1 {
+			iter2 = res.History[1].Phase2NetDelay
+		}
+		rows[i] = [][]string{{f3(values[vi]), f2(iter1), f2(iter2), f2(otoDelay)}}
+		report(i)
+	})
+	return firstErr(errs)
+}
+
+// ------------------------------------------------------------- protocol
+
+// protocolSetup is the per-threshold state protocol cells share.
+type protocolSetup struct {
+	sys         quorum.Threshold
+	serverSites []int
+	clientSites []int
+}
+
+func (p *Partition) executeProtocol(rows [][][]string, report func(int)) error {
+	s := p.space
+	spec, cfg := s.spec, s.cfg
+	ps := spec.Protocol
+	rowCols := spec.RowColumns
+	if rowCols == nil {
+		rowCols = []string{"t", "universe", "clients"}
+	}
+
+	// Build the (placement, representative clients) setup for every
+	// threshold the partition touches, serially in t order.
+	setups := map[int]*protocolSetup{}
+	var order []int
+	for _, pt := range p.Points {
+		ti := pt.Index / len(ps.PerSite)
+		if _, ok := setups[ti]; !ok {
+			setups[ti] = nil
+			order = append(order, ti)
+		}
+	}
+	sort.Ints(order)
+	for _, ti := range order {
+		sys, err := quorum.QUMajority(ps.Ts[ti])
+		if err != nil {
+			return err
+		}
+		f, err := placement.MajorityOneToOne(s.topo, sys, placement.Options{Workers: spec.Workers})
+		if err != nil {
+			return err
+		}
+		e, err := core.NewEval(s.topo, sys, f, 0)
+		if err != nil {
+			return err
+		}
+		clients, err := RepresentativeClients(e, ps.clientSites())
+		if err != nil {
+			return err
+		}
+		setups[ti] = &protocolSetup{sys: sys, serverSites: f.Targets(), clientSites: clients}
+	}
+
+	// The partition's cells fan out over the pool: each is an
+	// independent, seeded simulation.
+	n := len(p.Points)
+	errs := make([]error, n)
+	par.For(n, spec.Workers, func(i int) {
+		cell := p.Points[i].Index
+		su := setups[cell/len(ps.PerSite)]
+		perSite := ps.PerSite[cell%len(ps.PerSite)]
+		var clients []int
+		for _, site := range su.clientSites {
+			for c := 0; c < perSite; c++ {
+				clients = append(clients, site)
+			}
+		}
+		m, err := protocol.RunSimAveraged(protocol.Config{
+			Topo:          s.topo,
+			ServerSites:   su.serverSites,
+			QuorumSize:    su.sys.QuorumSize(),
+			ClientSites:   clients,
+			ServiceTimeMS: ps.serviceTime(),
+			LinkTxMS:      ps.linkTx(),
+			DurationMS:    cfg.quDuration(),
+			Seed:          cfg.Seed,
+		}, cfg.quRuns())
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		var row []string
+		for _, rc := range rowCols {
+			switch rc {
+			case "t":
+				row = append(row, itoa(ps.Ts[cell/len(ps.PerSite)]))
+			case "universe":
+				row = append(row, itoa(su.sys.UniverseSize()))
+			case "clients":
+				row = append(row, itoa(perSite*ps.clientSites()))
+			default:
+				errs[i] = fmt.Errorf("unknown row column %q for protocol scenario", rc)
+				return
+			}
+		}
+		row = append(row, f2(m.AvgNetDelayMS), f2(m.AvgResponseMS))
+		rows[i] = [][]string{row}
+		report(i)
+	})
+	return firstErr(errs)
+}
+
+// ------------------------------------------------------------- timeline
+
+func (p *Partition) executeTimeline(rows [][][]string, report func(int)) error {
+	if len(p.Points) == 0 {
+		return nil
+	}
+	s := p.space
+	trows, err := runTimelineRows(s.spec, s.cfg, s.topo, s.systems)
+	if err != nil {
+		return err
+	}
+	rows[0] = trows
+	report(0)
+	return nil
+}

@@ -16,6 +16,7 @@ func Library() []Spec {
 		SiteChurn(),
 		FlashCrowd(),
 		HeterogeneousDemand(),
+		CorrelatedFailure(),
 	}
 }
 
@@ -173,6 +174,42 @@ func HeterogeneousDemand() Spec {
 				Sites:   map[string]float64{"na-east-00": 12, "europe-00": 12},
 			}},
 			{Label: "demand-spike", Demand: fp(12000)},
+		},
+	}
+}
+
+// CorrelatedFailure models the failures that arrive together in real
+// outages: a whole region goes down and — in the same epoch — the event
+// that took it down (a backbone cut, a routing storm) degrades RTTs
+// between the survivors. The first step carries both deltas at once, so
+// the planner re-places and re-optimizes against the degraded WAN, not
+// the pre-outage one; recovery relaxes the links before membership is
+// rebuilt.
+func CorrelatedFailure() Spec {
+	return Spec{
+		Name:  "correlated-failure",
+		Title: "4x4 Grid on PlanetLab-50, LP strategies: region loss with correlated RTT degradation",
+		Kind:  KindTimeline,
+		Notes: []string{
+			"backbone-event removes every 'europe' site AND inflates every surviving link 1.4x in one step",
+			"one atomic step means one re-plan: the planner never sees the outage without the degradation",
+			"links-recover relaxes the survivors' RTTs; eu-rebuild restores membership on the healed WAN",
+		},
+		Topology:   TopologySpec{Source: "planetlab50"},
+		Systems:    []SystemAxis{{Family: "grid", Params: []int{4}}},
+		Strategies: []string{"lp"},
+		Demands:    []float64{8000},
+		Timeline: []Step{
+			{
+				Label:        "backbone-event",
+				RemoveRegion: "europe",
+				ScaleRTT:     &ScaleRTTStep{Factor: 1.4},
+			},
+			{Label: "links-recover", ScaleRTT: &ScaleRTTStep{Factor: 1 / 1.4}},
+			{Label: "eu-rebuild", AddSites: []NewSiteStep{
+				{Name: "eu-new-amsterdam", Region: "europe", Lat: 52.37, Lon: 4.90, AccessMS: 2},
+				{Name: "eu-new-milan", Region: "europe", Lat: 45.46, Lon: 9.19, AccessMS: 2},
+			}},
 		},
 	}
 }

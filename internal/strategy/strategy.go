@@ -321,11 +321,26 @@ type SweepConfig struct {
 	Reproducible bool
 }
 
-// sweepChunkSize fixes the warm-start chain length. Chunk boundaries
+// SweepChunkSize fixes the warm-start chain length. Chunk boundaries
 // must not depend on worker count, or results would change with
 // parallelism: each chunk always starts with a cold solve and
-// warm-starts the points after it.
-const sweepChunkSize = 4
+// warm-starts the points after it. The scenario engine partitions
+// sweeps at these boundaries, so sharded execution reproduces the
+// exact warm-start chains of an unsharded run.
+const SweepChunkSize = 4
+
+// ChunkBounds returns the half-open value range [lo, hi) of warm-start
+// chunk ci in an n-value sweep — the single source of the boundary
+// arithmetic the sweeps, the scenario partitioner, and the sharded
+// executor must agree on for byte-identical output.
+func ChunkBounds(ci, n int) (lo, hi int) {
+	lo = ci * SweepChunkSize
+	hi = lo + SweepChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
 
 // UniformSweep runs Optimize for each uniform capacity value and
 // evaluates response time, reproducing the technique of Figure 7.6,
@@ -419,14 +434,10 @@ func runSweep(e *core.Eval, values []float64, cfg SweepConfig,
 	// Populate the evaluator's lazy caches before sharing it.
 	e.Prewarm()
 
-	nChunks := (n + sweepChunkSize - 1) / sweepChunkSize
+	nChunks := (n + SweepChunkSize - 1) / SweepChunkSize
 	errs := make([]error, nChunks)
 	par.For(nChunks, cfg.Workers, func(ci int) {
-		lo := ci * sweepChunkSize
-		hi := lo + sweepChunkSize
-		if hi > n {
-			hi = n
-		}
+		lo, hi := ChunkBounds(ci, n)
 		errs[ci] = sweepChunk(e, values[lo:hi], out[lo:hi], cfg, capsFor)
 	})
 	for _, err := range errs {

@@ -42,6 +42,7 @@ import (
 	"github.com/quorumnet/quorumnet/internal/deploy"
 	"github.com/quorumnet/quorumnet/internal/experiments"
 	"github.com/quorumnet/quorumnet/internal/faults"
+	"github.com/quorumnet/quorumnet/internal/fleet"
 	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/placement"
 	"github.com/quorumnet/quorumnet/internal/plan"
@@ -503,8 +504,67 @@ func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
 
 // ScenarioLibrary lists the built-in workload scenarios: regional
 // outage, diurnal demand shift, RTT drift, site churn, flash crowd,
-// and heterogeneous demand.
+// heterogeneous demand, and correlated failure (a region outage with
+// same-epoch RTT degradation on the survivors).
 func ScenarioLibrary() []Scenario { return scenario.Library() }
+
+// ScenarioSpace is a scenario's enumerated point-space: the
+// deterministic, ordered list of work units an unsharded run executes.
+// Partition it with Shard, execute partitions anywhere, and Merge the
+// partials — the merged table is byte-identical to RunScenario.
+type ScenarioSpace = scenario.Space
+
+// Partition is one shard's slice of a scenario's point-space: the unit
+// of work a fleet worker executes. Execute returns a ScenarioPartial.
+type Partition = scenario.Partition
+
+// ScenarioPoint is one self-describing work unit of a point-space.
+type ScenarioPoint = scenario.Point
+
+// ScenarioPartial is an executed partition's tagged table fragment —
+// the fleet wire format (it serializes through the Table's stable JSON
+// encoding).
+type ScenarioPartial = scenario.Partial
+
+// ScenarioProgress is one point-completion event delivered to
+// ScenarioConfig.Progress.
+type ScenarioProgress = scenario.Progress
+
+// PartitionScenario enumerates a scenario's point-space for sharded
+// execution.
+func PartitionScenario(spec *Scenario, cfg ScenarioConfig) (*ScenarioSpace, error) {
+	return scenario.NewSpace(spec, cfg)
+}
+
+// MergeScenario recombines executed partials into the full table,
+// asserting every point of the spec's space appears exactly once.
+func MergeScenario(spec *Scenario, cfg ScenarioConfig, partials []*ScenarioPartial) (*ResultTable, error) {
+	return scenario.Merge(spec, cfg, partials)
+}
+
+// Fleet coordinates sharded scenario execution across worker processes
+// over HTTP: it partitions the spec, dispatches shards, retries
+// failures on other workers, and merges the results byte-identically
+// to a local run.
+type Fleet = fleet.Coordinator
+
+// FleetConfig tunes a Fleet: worker addresses, shard count, retry
+// attempts, and poll timeouts.
+type FleetConfig = fleet.Config
+
+// NewFleet validates the worker list and builds a coordinator.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// FleetWorker executes shard jobs for coordinators; mount Handler() on
+// any http server (quorumbench -fleet-worker does exactly this).
+type FleetWorker = fleet.Worker
+
+// FleetWorkerOptions tunes a FleetWorker (long-poll cap, job
+// concurrency, logging).
+type FleetWorkerOptions = fleet.WorkerOptions
+
+// NewFleetWorker builds a shard-executing worker.
+func NewFleetWorker(opts FleetWorkerOptions) *FleetWorker { return fleet.NewWorker(opts) }
 
 // Experiment regenerates one of the paper's figures.
 type Experiment = experiments.Experiment

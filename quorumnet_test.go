@@ -3,6 +3,8 @@ package quorumnet_test
 import (
 	"bytes"
 	"math"
+	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	quorumnet "github.com/quorumnet/quorumnet"
@@ -160,8 +162,8 @@ func TestPublicAPIPlanner(t *testing.T) {
 // TestPublicAPIScenario runs a library scenario and a hand-built eval
 // spec through the engine.
 func TestPublicAPIScenario(t *testing.T) {
-	if len(quorumnet.ScenarioLibrary()) != 6 {
-		t.Errorf("ScenarioLibrary() = %d scenarios, want 6", len(quorumnet.ScenarioLibrary()))
+	if len(quorumnet.ScenarioLibrary()) != 7 {
+		t.Errorf("ScenarioLibrary() = %d scenarios, want 7", len(quorumnet.ScenarioLibrary()))
 	}
 	spec := quorumnet.Scenario{
 		Name:       "api-smoke",
@@ -181,6 +183,67 @@ func TestPublicAPIScenario(t *testing.T) {
 	}
 	if _, err := tb.Cell(0, 3); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicAPISharding drives the partition/execute/merge stack and a
+// one-worker fleet through the façade: both must reproduce RunScenario
+// exactly.
+func TestPublicAPISharding(t *testing.T) {
+	spec := quorumnet.Scenario{
+		Name:       "api-sharded",
+		Kind:       "eval",
+		Topology:   quorumnet.ScenarioTopology{Source: "planetlab50"},
+		Systems:    []quorumnet.ScenarioSystemAxis{{Family: "grid", Params: []int{2, 3}}, {Family: "majority", Params: []int{1, 2}}},
+		Demands:    []float64{0},
+		Strategies: []string{"closest"},
+		Measures:   []string{"response"},
+	}
+	cfg := quorumnet.ScenarioConfig{Reproducible: true}
+	base, err := quorumnet.RunScenario(&spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space, err := quorumnet.PartitionScenario(&spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.NumPoints() != 4 {
+		t.Fatalf("NumPoints = %d, want 4", space.NumPoints())
+	}
+	var partials []*quorumnet.ScenarioPartial
+	for si := 2; si >= 0; si-- { // reversed completion order
+		part, err := space.Shard(si, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial, err := part.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, partial)
+	}
+	merged, err := quorumnet.MergeScenario(&spec, cfg, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Rows, merged.Rows) {
+		t.Fatalf("merged rows differ:\n%v\nvs\n%v", base.Rows, merged.Rows)
+	}
+
+	srv := httptest.NewServer(quorumnet.NewFleetWorker(quorumnet.FleetWorkerOptions{}).Handler())
+	defer srv.Close()
+	coord, err := quorumnet.NewFleet(quorumnet.FleetConfig{Workers: []string{srv.URL}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFleet, err := coord.Run(&spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Rows, viaFleet.Rows) {
+		t.Fatalf("fleet rows differ:\n%v\nvs\n%v", base.Rows, viaFleet.Rows)
 	}
 }
 

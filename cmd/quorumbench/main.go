@@ -23,14 +23,23 @@
 //	quorumbench -fig 6.3 -shards 4 -shard 1 > p1.json   # one shard's partial
 //	quorumbench -fig 6.3 -shards 4 -merge p0.json,p1.json,p2.json,p3.json
 //	quorumbench -fleet-worker -addr :9190           # serve shards for a fleet
-//	quorumbench -fig 6.3 -fleet host1:9190,host2:9190
+//	quorumbench -fig 6.3 -fleet host1:9190,host2:9190   # static worker list
+//
+// Elastic fleet (workers self-register and heartbeat; a worker that
+// dies mid-shard has its shard re-dispatched immediately, and workers
+// may join mid-run):
+//
+//	quorumbench -fleet-worker -addr :9190 -join coordinator-host:9200
+//	quorumbench -scenario seed-scale-study -fleet-registry :9200 -min-workers 3 -shards 12
 //
 // -scenario runs a workload scenario: "list" prints the built-in
 // library, a library name runs that scenario, and anything else is
 // loaded as a JSON spec file (see the quorumnet.Scenario type for the
-// schema). -shards/-shard/-merge/-fleet apply to -scenario exactly as
-// they do to -fig; -progress logs per-point completions to stderr so
-// long parameter studies are observable.
+// schema). -shards/-shard/-merge/-fleet/-fleet-registry apply to
+// -scenario exactly as they do to -fig; -progress logs per-point
+// completions — and, for fleet runs, worker joins/deaths, re-dispatch
+// events, and live/dead counts — to stderr so long parameter studies
+// are debuggable from the log alone.
 //
 // By default the LP-heavy figures run on the fast path (warm-started,
 // partially priced, parallel solves); -reproducible regenerates the
@@ -43,6 +52,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -79,8 +89,12 @@ func run() int {
 		shard     = flag.Int("shard", -1, "execute only this shard (0-based, with -shards) and print its partial as JSON")
 		mergeArg  = flag.String("merge", "", "comma-separated partial JSON files to merge into the full table")
 		fleetArg  = flag.String("fleet", "", "comma-separated fleet worker addresses to run the shards on")
+		fleetReg  = flag.String("fleet-registry", "", "listen address for an elastic fleet registry; shards run on self-registered workers (see -join)")
+		minWork   = flag.Int("min-workers", 1, "workers that must be live before an elastic run dispatches")
 		worker    = flag.Bool("fleet-worker", false, "serve shard jobs for fleet coordinators (see -addr)")
 		addr      = flag.String("addr", "127.0.0.1:9190", "listen address for -fleet-worker")
+		join      = flag.String("join", "", "registry address a -fleet-worker self-registers with (elastic fleet)")
+		advertise = flag.String("advertise", "", "address the worker advertises to the registry (default: -addr with 127.0.0.1 for an empty host)")
 		progress  = flag.Bool("progress", false, "log per-shard/per-point completion counts to stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
@@ -102,7 +116,7 @@ func run() int {
 	}
 
 	if *worker {
-		return runFleetWorker(*addr)
+		return runFleetWorker(*addr, *join, *advertise)
 	}
 
 	if *cpuprof != "" {
@@ -137,7 +151,11 @@ func run() int {
 	}
 
 	// Sharded, fleet, and merge modes operate on one spec's point-space.
-	if *shards > 0 || *shard >= 0 || *mergeArg != "" || *fleetArg != "" {
+	if *shards > 0 || *shard >= 0 || *mergeArg != "" || *fleetArg != "" || *fleetReg != "" {
+		if *fleetArg != "" && *fleetReg != "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -fleet and -fleet-registry are exclusive")
+			return 2
+		}
 		spec, cfg, code := resolveSpec(*fig, *scen, params)
 		if code != 0 {
 			return code
@@ -145,7 +163,16 @@ func run() int {
 		if *progress {
 			cfg.Progress = logProgress
 		}
-		return runSharded(spec, cfg, *shards, *shard, *mergeArg, *fleetArg, outFormat, *progress)
+		return runSharded(spec, cfg, shardedOptions{
+			shards:     *shards,
+			shard:      *shard,
+			mergeArg:   *mergeArg,
+			fleetArg:   *fleetArg,
+			registry:   *fleetReg,
+			minWorkers: *minWork,
+			format:     outFormat,
+			progress:   *progress,
+		})
 	}
 
 	if *scen != "" {
@@ -232,9 +259,34 @@ func resolveSpec(fig, scen string, params experiments.Params) (*scenario.Spec, s
 	}
 }
 
+// shardedOptions carries the sharded/fleet/merge mode selection.
+type shardedOptions struct {
+	shards     int
+	shard      int
+	mergeArg   string
+	fleetArg   string
+	registry   string
+	minWorkers int
+	format     string
+	progress   bool
+}
+
+// fleetLogf returns the coordinator/registry log sink: stderr under
+// -progress, silent otherwise.
+func fleetLogf(progress bool) func(string, ...interface{}) {
+	if !progress {
+		return nil
+	}
+	return func(f string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, f+"\n", args...)
+	}
+}
+
 // runSharded executes the sharded/fleet/merge modes over one spec.
-func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, shards, shard int, mergeArg, fleetArg, format string, progress bool) int {
+func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, opts shardedOptions) int {
 	start := time.Now()
+	shards, shard := opts.shards, opts.shard
+	mergeArg, fleetArg, format, progress := opts.mergeArg, opts.fleetArg, opts.format, opts.progress
 	switch {
 	case mergeArg != "":
 		var partials []*scenario.Partial
@@ -255,14 +307,39 @@ func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, shards, shard int, 
 		}
 		return emit(tb, format, spec.Name, start, "\n")
 
-	case fleetArg != "":
-		fcfg := fleet.Config{Workers: strings.Split(fleetArg, ","), Shards: shards}
-		if progress {
-			fcfg.Logf = func(f string, args ...interface{}) {
-				fmt.Fprintf(os.Stderr, f+"\n", args...)
-			}
+	case opts.registry != "":
+		// Elastic fleet: serve the registry, wait for -min-workers
+		// self-registrations, dispatch over whoever is live.
+		reg := fleet.NewRegistry(fleet.RegistryOptions{Logf: fleetLogf(progress)})
+		srv := &http.Server{Addr: opts.registry, Handler: reg.Handler()}
+		ln, err := net.Listen("tcp", opts.registry)
+		if err != nil {
+			return fail(err)
 		}
-		coord, err := fleet.New(fcfg)
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "quorumbench: fleet registry listening on %s\n", ln.Addr())
+		coord, err := fleet.New(fleet.Config{
+			Registry:   reg,
+			MinWorkers: opts.minWorkers,
+			Shards:     shards,
+			Logf:       fleetLogf(progress),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		tb, err := coord.Run(spec, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return emit(tb, format, spec.Name, start, "\n")
+
+	case fleetArg != "":
+		coord, err := fleet.New(fleet.Config{
+			Workers: strings.Split(fleetArg, ","),
+			Shards:  shards,
+			Logf:    fleetLogf(progress),
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -321,13 +398,29 @@ func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, shards, shard int, 
 	}
 }
 
-// runFleetWorker serves shard jobs until the process is killed.
-func runFleetWorker(addr string) int {
-	w := fleet.NewWorker(fleet.WorkerOptions{
-		Logf: func(f string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, f+"\n", args...)
-		},
-	})
+// runFleetWorker serves shard jobs until the process is killed. With
+// -join it also keeps a registration lease with an elastic fleet
+// registry, heartbeating so coordinators dispatch to it — and re-assign
+// its shards the moment it stops answering.
+func runFleetWorker(addr, join, advertise string) int {
+	logf := func(f string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, f+"\n", args...)
+	}
+	w := fleet.NewWorker(fleet.WorkerOptions{Logf: logf})
+	if join != "" {
+		if advertise == "" {
+			advertise = addr
+			if strings.HasPrefix(advertise, ":") {
+				advertise = "127.0.0.1" + advertise
+			}
+		}
+		lease, err := fleet.Join(join, advertise, fleet.LeaseOptions{Logf: logf})
+		if err != nil {
+			return fail(err)
+		}
+		defer lease.Stop()
+		fmt.Fprintf(os.Stderr, "quorumbench: fleet worker joining %s as %s\n", join, advertise)
+	}
 	fmt.Fprintf(os.Stderr, "quorumbench: fleet worker listening on %s\n", addr)
 	return fail(http.ListenAndServe(addr, w.Handler()))
 }

@@ -70,3 +70,66 @@ func TestFigureSpecsShardedByteIdentical(t *testing.T) {
 		})
 	}
 }
+
+// TestSeedScaleStudyShardedByteIdentical is the seed/scale-axis
+// acceptance criterion: the library's multi-seed scaled study — the
+// one-spec form of the paper's ~100x parameter studies — merges
+// byte-identically to its unsharded run at every shard count 1..8, in
+// Reproducible mode AND in the default fast mode (warm-started,
+// partially priced solves), with partials merged out of shard order.
+func TestSeedScaleStudyShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes the study 18 times")
+	}
+	spec := scenario.SeedScaleStudy()
+	for _, mode := range []struct {
+		name string
+		cfg  scenario.RunConfig
+	}{
+		{"reproducible", scenario.RunConfig{Reproducible: true}},
+		{"fast", scenario.RunConfig{}},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			base, err := scenario.Run(&spec, mode.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var baseText bytes.Buffer
+			if err := base.Format(&baseText); err != nil {
+				t.Fatal(err)
+			}
+			for shards := 1; shards <= 8; shards++ {
+				space, err := scenario.NewSpace(&spec, mode.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				partials := make([]*scenario.Partial, 0, shards)
+				for si := shards - 1; si >= 0; si-- {
+					part, err := space.Shard(si, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					partial, err := part.Execute()
+					if err != nil {
+						t.Fatalf("shard %d/%d: %v", si, shards, err)
+					}
+					partials = append(partials, partial)
+				}
+				merged, err := space.Merge(partials)
+				if err != nil {
+					t.Fatalf("merge %d shards: %v", shards, err)
+				}
+				var mergedText bytes.Buffer
+				if err := merged.Format(&mergedText); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(baseText.Bytes(), mergedText.Bytes()) {
+					t.Fatalf("%s mode, %d shards: merged study differs from unsharded run:\n%s\nvs\n%s",
+						mode.name, shards, mergedText.String(), baseText.String())
+				}
+			}
+		})
+	}
+}

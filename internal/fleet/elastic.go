@@ -1,0 +1,329 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/scenario"
+)
+
+// elasticTask is one shard waiting for a worker.
+type elasticTask struct {
+	shard int
+	// attempts already consumed by this shard.
+	attempts int
+	// excluded lists worker ids that already failed or died holding this
+	// shard, so a retry never bounces straight back.
+	excluded map[string]bool
+	// notBefore gates dispatch while a backoff is pending; backedOff
+	// marks that the exclusions should be cleared when it expires (with
+	// one live worker, keeping them would starve the shard forever).
+	notBefore time.Time
+	backedOff bool
+}
+
+// elasticAttempt is one in-flight dispatch of a shard to a worker.
+type elasticAttempt struct {
+	key     string
+	shard   int
+	attempt int
+	worker  WorkerRef
+	// excluded is the exclusion set the attempt was dispatched under
+	// (without its own worker; failure handling adds it).
+	excluded map[string]bool
+	// superseded marks attempts whose worker died: the shard was already
+	// re-enqueued, so this attempt's outcome can only be accepted if it
+	// beats the replacement, and is otherwise discarded by attempt key.
+	superseded bool
+	cancel     context.CancelFunc
+}
+
+type attemptOutcome struct {
+	key     string
+	partial *scenario.Partial
+	err     error
+}
+
+func copyExcluded(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// pickWorker chooses the least-loaded live worker outside the exclusion
+// set (ties broken by registration order).
+func pickWorker(live []WorkerRef, excluded map[string]bool, load map[string]int) (WorkerRef, bool) {
+	best := -1
+	for i, w := range live {
+		if excluded[w.ID] {
+			continue
+		}
+		if best < 0 || load[w.ID] < load[live[best].ID] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return WorkerRef{}, false
+	}
+	return live[best], true
+}
+
+// runElastic dispatches the spec's shards over the registry's live
+// workers. Beyond the static path it adds: joins observed mid-run, a
+// worker that misses heartbeats while holding a shard triggers an
+// immediate re-dispatch (no ShardTimeout burned), excluded tracking so
+// re-dispatch never bounces straight back, backoff when every live
+// worker already failed a shard, and discard of late duplicate results
+// by shard-attempt id.
+func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*scenario.Table, error) {
+	reg := c.cfg.Registry
+	space, err := scenario.NewSpace(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Wait for the starting quorum of workers; more may join later.
+	minWorkers := c.cfg.MinWorkers
+	if minWorkers <= 0 {
+		minWorkers = 1
+	}
+	for {
+		ch := reg.Changed()
+		live := reg.Live()
+		if len(live) >= minWorkers {
+			break
+		}
+		c.logf("fleet: %s: waiting for workers (%d/%d live)", spec.Name, len(live), minWorkers)
+		select {
+		case <-ch:
+		case <-time.After(reg.HeartbeatInterval()):
+			reg.ExpireNow()
+		}
+	}
+
+	shards := c.cfg.Shards
+	if shards <= 0 {
+		shards = len(reg.Live())
+		if shards == 0 {
+			shards = 1
+		}
+	}
+	maxAttempts := c.cfg.attempts()
+	start := time.Now()
+	c.logf("fleet: %s: %d points across %d shards (elastic, %d workers live)",
+		spec.Name, space.NumPoints(), shards, len(reg.Live()))
+
+	pending := make([]*elasticTask, shards)
+	for j := range pending {
+		pending[j] = &elasticTask{shard: j, excluded: map[string]bool{}}
+	}
+	inflight := map[string]*elasticAttempt{}
+	perWorker := map[string]int{}
+	done := make([]*scenario.Partial, shards)
+	completed := 0
+	redispatches := 0
+	known := map[string]bool{}
+	// Every spawned attempt reports exactly one outcome; the buffer holds
+	// the worst case so no goroutine ever blocks on a finished run.
+	results := make(chan attemptOutcome, shards*maxAttempts)
+
+	abort := func(err error) (*scenario.Table, error) {
+		for _, att := range inflight {
+			att.cancel()
+		}
+		return nil, err
+	}
+
+	// takeOutcome retires one attempt and classifies its outcome. Returns
+	// the task to re-enqueue, if any.
+	takeOutcome := func(out attemptOutcome) *elasticTask {
+		att := inflight[out.key]
+		delete(inflight, out.key)
+		att.cancel()
+		perWorker[att.worker.ID]--
+		switch {
+		case out.err == nil && done[att.shard] == nil:
+			// First valid result for the shard wins — even from a
+			// superseded attempt whose worker was merely partitioned from
+			// the registry.
+			done[att.shard] = out.partial
+			completed++
+			c.event(Event{Kind: EventShardDone, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID})
+			c.logf("fleet: %s: shard %d/%d done (attempt %d on %s, %d/%d, %d rows, %.1fs)",
+				spec.Name, att.shard, shards, att.attempt, att.worker.ID,
+				completed, shards, len(out.partial.Table.Rows), time.Since(start).Seconds())
+		case out.err == nil:
+			c.event(Event{Kind: EventLateDiscard, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID})
+			c.logf("fleet: %s: shard %d/%d: discarding late duplicate result (attempt %d on %s)",
+				spec.Name, att.shard, shards, att.attempt, att.worker.ID)
+		case att.superseded || done[att.shard] != nil:
+			c.event(Event{Kind: EventAbandon, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID, Detail: out.err.Error()})
+		default:
+			excluded := copyExcluded(att.excluded)
+			excluded[att.worker.ID] = true
+			redispatches++
+			c.event(Event{Kind: EventRedispatch, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID, Detail: out.err.Error()})
+			c.logf("fleet: %s: shard %d/%d attempt %d on %s failed: %v",
+				spec.Name, att.shard, shards, att.attempt, att.worker.ID, out.err)
+			return &elasticTask{shard: att.shard, attempts: att.attempt, excluded: excluded}
+		}
+		return nil
+	}
+
+	for completed < shards {
+		ch := reg.Changed()
+		live := reg.Live()
+		liveSet := map[string]bool{}
+		for _, w := range live {
+			liveSet[w.ID] = true
+			if !known[w.ID] {
+				known[w.ID] = true
+				c.event(Event{Kind: EventWorkerJoin, Shard: -1, Worker: w.ID, Detail: w.Addr})
+				c.logf("fleet: %s: worker %s joined at %s (%d live)", spec.Name, w.ID, w.Addr, len(live))
+			}
+		}
+
+		// Mid-job re-dispatch: an attempt whose worker went dead is
+		// superseded and its shard re-enqueued immediately — within the
+		// registry's missed-heartbeat window, not a ShardTimeout. The
+		// attempt itself keeps polling (the worker may be alive but
+		// partitioned from the registry); whichever attempt delivers
+		// first wins, the loser is discarded by attempt key.
+		for _, att := range inflight {
+			if att.superseded || done[att.shard] != nil || liveSet[att.worker.ID] {
+				continue
+			}
+			att.superseded = true
+			redispatches++
+			excluded := copyExcluded(att.excluded)
+			excluded[att.worker.ID] = true
+			pending = append(pending, &elasticTask{shard: att.shard, attempts: att.attempt, excluded: excluded})
+			c.event(Event{Kind: EventWorkerDead, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID, Detail: "missed heartbeats"})
+			c.logf("fleet: %s: worker %s died holding shard %d/%d (attempt %d); re-dispatching now",
+				spec.Name, att.worker.ID, att.shard, shards, att.attempt)
+		}
+
+		// Dispatch every ready task that has an eligible worker.
+		now := time.Now()
+		var nextWake time.Time
+		var still []*elasticTask
+		for _, t := range pending {
+			if done[t.shard] != nil {
+				continue // completed by a superseded attempt meanwhile
+			}
+			if t.attempts >= maxAttempts {
+				return abort(fmt.Errorf("fleet: %s: shard %d/%d failed after %d attempts",
+					spec.Name, t.shard, shards, t.attempts))
+			}
+			if now.Before(t.notBefore) {
+				if nextWake.IsZero() || t.notBefore.Before(nextWake) {
+					nextWake = t.notBefore
+				}
+				still = append(still, t)
+				continue
+			}
+			if t.backedOff {
+				t.excluded = map[string]bool{}
+				t.backedOff = false
+			}
+			w, ok := pickWorker(live, t.excluded, perWorker)
+			if !ok {
+				if len(live) == 0 {
+					c.logf("fleet: %s: shard %d/%d waiting: no live workers", spec.Name, t.shard, shards)
+					still = append(still, t)
+					continue
+				}
+				// Every live worker already failed this shard: back off,
+				// then retry with a clean slate instead of hot-looping.
+				t.notBefore = now.Add(c.cfg.retryBackoff())
+				t.backedOff = true
+				if nextWake.IsZero() || t.notBefore.Before(nextWake) {
+					nextWake = t.notBefore
+				}
+				still = append(still, t)
+				c.event(Event{Kind: EventBackoff, Shard: t.shard, Attempt: t.attempts + 1, Detail: c.cfg.retryBackoff().String()})
+				c.logf("fleet: %s: shard %d/%d: all %d live workers excluded; backing off %s",
+					spec.Name, t.shard, shards, len(live), c.cfg.retryBackoff())
+				continue
+			}
+			attempt := t.attempts + 1
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shardTimeout())
+			att := &elasticAttempt{
+				key:      fmt.Sprintf("s%d-a%d", t.shard, attempt),
+				shard:    t.shard,
+				attempt:  attempt,
+				worker:   w,
+				excluded: copyExcluded(t.excluded),
+				cancel:   cancel,
+			}
+			inflight[att.key] = att
+			perWorker[w.ID]++
+			c.event(Event{Kind: EventDispatch, Shard: t.shard, Attempt: attempt, Worker: w.ID})
+			c.logf("fleet: %s: shard %d/%d attempt %d -> %s (%s)",
+				spec.Name, t.shard, shards, attempt, w.ID, w.Addr)
+			go func(att *elasticAttempt, addr string) {
+				partial, err := c.attemptShard(ctx, addr, spec, cfg, att.shard, shards)
+				results <- attemptOutcome{key: att.key, partial: partial, err: err}
+			}(att, w.Addr)
+		}
+		pending = still
+
+		// Wait for an outcome, a roster change, a backoff expiry, or the
+		// liveness tick that drives heartbeat expiry.
+		wait := reg.HeartbeatInterval() / 2
+		if wait <= 0 {
+			wait = 500 * time.Millisecond
+		}
+		if !nextWake.IsZero() {
+			if d := time.Until(nextWake); d < wait {
+				wait = d
+				if wait < time.Millisecond {
+					wait = time.Millisecond
+				}
+			}
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case out := <-results:
+			timer.Stop()
+			if t := takeOutcome(out); t != nil {
+				pending = append(pending, t)
+			}
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			reg.ExpireNow()
+		}
+	}
+
+	// Drain: superseded attempts may still be polling. Give them
+	// DrainGrace to deliver naturally — their results are discarded by
+	// attempt key with an observable event — then cancel the rest.
+	if len(inflight) > 0 {
+		grace := time.NewTimer(c.cfg.DrainGrace)
+		draining := true
+		for len(inflight) > 0 && draining {
+			select {
+			case out := <-results:
+				takeOutcome(out)
+			case <-grace.C:
+				draining = false
+			}
+		}
+		grace.Stop()
+		for _, att := range inflight {
+			att.cancel()
+		}
+		for len(inflight) > 0 {
+			takeOutcome(<-results)
+		}
+	}
+
+	live, dead := reg.Counts()
+	c.logf("fleet: %s: run complete: %d shards, %d re-dispatches, workers live=%d dead=%d (%.1fs)",
+		spec.Name, shards, redispatches, live, dead, time.Since(start).Seconds())
+	return space.Merge(done)
+}

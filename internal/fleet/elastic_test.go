@@ -1,0 +1,364 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/fleet/faultinject"
+	"github.com/quorumnet/quorumnet/internal/scenario"
+)
+
+// eventLog records dispatcher events for post-run assertions and lets
+// scripts hook exact lifecycle moments.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	hooks  []func(Event)
+}
+
+func (l *eventLog) record(ev Event) {
+	l.mu.Lock()
+	hooks := append([]func(Event){}, l.hooks...)
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+	for _, h := range hooks {
+		h(ev)
+	}
+}
+
+func (l *eventLog) hook(h func(Event)) {
+	l.mu.Lock()
+	l.hooks = append(l.hooks, h)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) all() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+func (l *eventLog) count(kind string) int {
+	n := 0
+	for _, ev := range l.all() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *eventLog) first(kind string) (Event, bool) {
+	for _, ev := range l.all() {
+		if ev.Kind == kind {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+// elasticHarness wires a fake-clock registry, workers (optionally
+// behind fault-injection proxies), and an event log: the scaffolding
+// every re-dispatch test shares.
+type elasticHarness struct {
+	t      *testing.T
+	clock  *fakeClock
+	reg    *Registry
+	log    *eventLog
+	base   *scenario.Table
+	baseTx []byte
+}
+
+func newElasticHarness(t *testing.T) *elasticHarness {
+	t.Helper()
+	clock := newFakeClock()
+	h := &elasticHarness{
+		t:     t,
+		clock: clock,
+		log:   &eventLog{},
+		reg: NewRegistry(RegistryOptions{
+			HeartbeatInterval: time.Second,
+			MissedHeartbeats:  2,
+			Now:               clock.Now,
+			Logf:              t.Logf,
+		}),
+	}
+	base, err := scenario.Run(testSpec(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.base = base
+	var buf bytes.Buffer
+	if err := base.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h.baseTx = buf.Bytes()
+	return h
+}
+
+// addWorker starts a worker and registers it directly (tests drive
+// heartbeats by hand for determinism).
+func (h *elasticHarness) addWorker() WorkerRef {
+	h.t.Helper()
+	srv := httptest.NewServer(NewWorker(WorkerOptions{MaxWait: 100 * time.Millisecond, Logf: h.t.Logf}).Handler())
+	h.t.Cleanup(srv.Close)
+	return h.reg.Register(srv.URL)
+}
+
+// addProxiedWorker starts a worker behind a fault-injection proxy and
+// registers the proxy's address.
+func (h *elasticHarness) addProxiedWorker() (WorkerRef, *faultinject.Proxy) {
+	h.t.Helper()
+	srv := httptest.NewServer(NewWorker(WorkerOptions{MaxWait: 100 * time.Millisecond, Logf: h.t.Logf}).Handler())
+	h.t.Cleanup(srv.Close)
+	proxy, err := faultinject.New(srv.URL)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy.Handler())
+	h.t.Cleanup(front.Close)
+	return h.reg.Register(front.URL), proxy
+}
+
+// kill expires the named worker: the clock advances two heartbeat
+// intervals (the liveness window), every survivor beats once, and
+// expiry runs — exactly what "missed 2 heartbeats" means on the wire.
+func (h *elasticHarness) kill(id string) {
+	h.t.Helper()
+	h.clock.Advance(2 * h.reg.HeartbeatInterval())
+	h.reg.mu.Lock()
+	for wid, w := range h.reg.workers {
+		if wid != id && !w.dead {
+			w.lastBeat = h.clock.Now()
+		}
+	}
+	h.reg.mu.Unlock()
+	dead := h.reg.ExpireNow()
+	if len(dead) != 1 || dead[0].ID != id {
+		h.t.Errorf("kill %s: expired %v", id, dead)
+	}
+}
+
+func (h *elasticHarness) coordinator(cfg Config) *Coordinator {
+	h.t.Helper()
+	cfg.Registry = h.reg
+	cfg.Logf = h.t.Logf
+	cfg.OnEvent = h.log.record
+	coord, err := New(cfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return coord
+}
+
+func (h *elasticHarness) assertByteIdentical(got *scenario.Table) {
+	h.t.Helper()
+	var buf bytes.Buffer
+	if err := got.Format(&buf); err != nil {
+		h.t.Fatal(err)
+	}
+	if !bytes.Equal(h.baseTx, buf.Bytes()) {
+		h.t.Fatalf("elastic fleet output differs from unsharded run:\n%s\nvs\n%s",
+			buf.String(), string(h.baseTx))
+	}
+}
+
+// TestElasticFleetByteIdentical: an elastic run over self-registered
+// workers — including one that joins mid-run — merges to the exact
+// bytes of a local unsharded run.
+func TestElasticFleetByteIdentical(t *testing.T) {
+	h := newElasticHarness(t)
+	h.addWorker()
+	var joinOnce sync.Once
+	h.log.hook(func(ev Event) {
+		if ev.Kind == EventShardDone {
+			joinOnce.Do(func() { h.addWorker() })
+		}
+	})
+	coord := h.coordinator(Config{Shards: 4})
+	got, err := coord.Run(testSpec(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.assertByteIdentical(got)
+	if n := h.log.count(EventWorkerJoin); n != 2 {
+		t.Errorf("worker-join events: %d, want 2 (one initial, one mid-run)", n)
+	}
+	if n := h.log.count(EventShardDone); n != 4 {
+		t.Errorf("shard-done events: %d, want 4", n)
+	}
+}
+
+// TestMidExecuteDeathRedispatch is the static-address-hang regression
+// test: a worker dies mid-execute (its result polls black-hole, its
+// heartbeats stop), and the coordinator re-dispatches the shard the
+// moment the registry declares it dead — two missed heartbeats on the
+// fake clock — instead of burning the 5-minute ShardTimeout the run is
+// configured with. The script fires at the exact protocol point: right
+// after the worker accepted the shard.
+func TestMidExecuteDeathRedispatch(t *testing.T) {
+	h := newElasticHarness(t)
+	victim, proxy := h.addProxiedWorker()
+	survivor := h.addWorker()
+
+	proxy.After(faultinject.PointDispatch, func() {
+		// Mid-execute: the job is accepted and running. The worker's
+		// polls now hang like a TCP blackhole, and its heartbeats stop —
+		// kill advances the clock exactly two intervals.
+		proxy.Hold(faultinject.PointPoll)
+		h.kill(victim.ID)
+	})
+
+	coord := h.coordinator(Config{Shards: 2, ShardTimeout: 5 * time.Minute})
+	start := time.Now()
+	got, err := coord.Run(testSpec(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	h.assertByteIdentical(got)
+
+	deadEv, ok := h.log.first(EventWorkerDead)
+	if !ok {
+		t.Fatal("no worker-dead event: the shard was not re-dispatched on heartbeat death")
+	}
+	if deadEv.Worker != victim.ID || deadEv.Shard != 0 {
+		t.Errorf("worker-dead event %+v, want victim %s shard 0", deadEv, victim.ID)
+	}
+	// The re-dispatched shard completed on the survivor, as attempt 2.
+	var doneOnSurvivor bool
+	for _, ev := range h.log.all() {
+		if ev.Kind == EventShardDone && ev.Shard == deadEv.Shard {
+			if ev.Worker != survivor.ID || ev.Attempt != 2 {
+				t.Errorf("re-dispatched shard done %+v, want attempt 2 on %s", ev, survivor.ID)
+			}
+			doneOnSurvivor = true
+		}
+	}
+	if !doneOnSurvivor {
+		t.Fatal("re-dispatched shard never completed")
+	}
+	// Re-dispatch happened on the heartbeat window, not the ShardTimeout:
+	// with the fake clock the whole run must take a fraction of the
+	// 5-minute timeout a hung worker would have burned.
+	if elapsed > time.Minute {
+		t.Fatalf("run took %s; re-dispatch did not preempt the ShardTimeout", elapsed)
+	}
+}
+
+// TestSingleWorkerRetryBacksOff: when the only live worker fails a
+// shard (a dropped dispatch), the retry waits RetryBackoff and then
+// re-tries the same worker with a clean exclusion slate — it neither
+// hot-loops nor starves.
+func TestSingleWorkerRetryBacksOff(t *testing.T) {
+	h := newElasticHarness(t)
+	_, proxy := h.addProxiedWorker()
+	proxy.DropNext(faultinject.PointDispatch, 1)
+
+	coord := h.coordinator(Config{Shards: 1, RetryBackoff: 30 * time.Millisecond})
+	start := time.Now()
+	got, err := coord.Run(testSpec(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.assertByteIdentical(got)
+	if n := h.log.count(EventBackoff); n != 1 {
+		t.Errorf("backoff events: %d, want exactly 1", n)
+	}
+	if ev, _ := h.log.first(EventShardDone); ev.Attempt != 2 {
+		t.Errorf("shard completed as attempt %d, want 2 (one retry)", ev.Attempt)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("run finished in %s: the retry cannot have waited the 30ms backoff", elapsed)
+	}
+}
+
+// TestPreResultSeverRedispatch: the worker executes the shard but the
+// response delivering the finished result is dropped (pre-result
+// fault); the coordinator retries the shard on the other worker,
+// excluding the one that failed it.
+func TestPreResultSeverRedispatch(t *testing.T) {
+	h := newElasticHarness(t)
+	victim, proxy := h.addProxiedWorker()
+	survivor := h.addWorker()
+	proxy.DropNext(faultinject.PointResult, 1)
+
+	coord := h.coordinator(Config{Shards: 2})
+	got, err := coord.Run(testSpec(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.assertByteIdentical(got)
+	re, ok := h.log.first(EventRedispatch)
+	if !ok {
+		t.Fatal("dropped result produced no redispatch")
+	}
+	if re.Worker != victim.ID || re.Shard != 0 {
+		t.Errorf("redispatch %+v, want shard 0 off %s", re, victim.ID)
+	}
+	for _, ev := range h.log.all() {
+		if ev.Kind == EventShardDone && ev.Shard == re.Shard && ev.Worker != survivor.ID {
+			t.Errorf("retried shard completed on %s, want excluded retry on %s", ev.Worker, survivor.ID)
+		}
+	}
+}
+
+// TestLateDuplicateResultDiscarded: a worker declared dead mid-execute
+// later delivers its result anyway (it was only partitioned); by then
+// the re-dispatched attempt has completed the shard, and the stale
+// result is discarded by shard-attempt id — observable as exactly one
+// late-discard event — leaving the merge byte-identical.
+func TestLateDuplicateResultDiscarded(t *testing.T) {
+	h := newElasticHarness(t)
+	victim, proxy := h.addProxiedWorker()
+	h.addWorker()
+
+	// Park the victim's finished result at the proxy, kill the victim's
+	// heartbeats the moment it accepts the shard, and release the parked
+	// result only once the re-dispatched attempt has won the shard.
+	releaseResult := proxy.Hold(faultinject.PointResult)
+	proxy.After(faultinject.PointDispatch, func() { h.kill(victim.ID) })
+	h.log.hook(func(ev Event) {
+		if ev.Kind == EventShardDone && ev.Shard == 0 && ev.Worker != victim.ID {
+			releaseResult()
+		}
+	})
+
+	coord := h.coordinator(Config{Shards: 1, DrainGrace: 10 * time.Second})
+	got, err := coord.Run(testSpec(), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.assertByteIdentical(got)
+	if n := h.log.count(EventLateDiscard); n != 1 {
+		t.Fatalf("late-discard events: %d, want exactly 1 (events: %+v)", n, h.log.all())
+	}
+	disc, _ := h.log.first(EventLateDiscard)
+	if disc.Worker != victim.ID || disc.Attempt != 1 {
+		t.Errorf("late discard %+v, want attempt 1 on %s", disc, victim.ID)
+	}
+	if ev, _ := h.log.first(EventShardDone); ev.Attempt != 2 {
+		t.Errorf("shard won by attempt %d, want the re-dispatched attempt 2", ev.Attempt)
+	}
+}
+
+// TestElasticRunFailsAfterMaxAttempts: a shard no worker can execute
+// exhausts Attempts and fails the run with the shard named.
+func TestElasticRunFailsAfterMaxAttempts(t *testing.T) {
+	h := newElasticHarness(t)
+	_, proxy := h.addProxiedWorker()
+	proxy.Sever()
+
+	coord := h.coordinator(Config{Shards: 1, Attempts: 2, RetryBackoff: 5 * time.Millisecond})
+	_, err := coord.Run(testSpec(), testCfg())
+	if err == nil {
+		t.Fatal("run against a severed fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Errorf("error %q does not name the attempt budget", err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package faultinject is an in-process fault-injection harness for
+// fleet tests: a Proxy fronts one worker's HTTP endpoint and drops,
+// holds, or severs traffic at scripted protocol points — pre-dispatch
+// (the shard submission), mid-execute (immediately after a submission
+// was accepted), and pre-result (the poll response that would deliver
+// the finished partial). Scripts hook exact protocol moments instead of
+// sleeping, so every coordinator re-dispatch path is exercised
+// deterministically.
+//
+// Faults are connection-shaped, not HTTP-shaped: a dropped or severed
+// request aborts the connection (the client sees EOF / connection
+// reset), exactly what a crashed or partitioned worker looks like to a
+// coordinator.
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// Point names a protocol moment the proxy can act at.
+type Point string
+
+// Scriptable protocol points.
+const (
+	// PointDispatch is a shard submission (POST /v1/shards) arriving at
+	// the worker. Dropping here is a pre-dispatch fault: the worker
+	// never hears of the shard.
+	PointDispatch Point = "dispatch"
+	// PointPoll is a result request (GET /v1/shards/<id>/result)
+	// arriving at the worker, whatever its eventual answer.
+	PointPoll Point = "poll"
+	// PointResult is a poll response that carries the finished result
+	// (status done or error). Dropping here is a pre-result fault: the
+	// worker executed the shard, the coordinator never learns it.
+	PointResult Point = "result"
+)
+
+// Proxy is an HTTP fault-injection proxy in front of one worker. Mount
+// Handler (e.g. on an httptest.Server) and point the coordinator at it
+// instead of the worker. All methods are safe for concurrent use with
+// in-flight requests.
+type Proxy struct {
+	backend *url.URL
+	client  *http.Client
+
+	mu       sync.Mutex
+	severed  bool
+	dropNext map[Point]int
+	holdCh   map[Point]chan struct{}
+	after    map[Point][]func()
+}
+
+// New builds a proxy for the worker at backendURL.
+func New(backendURL string) (*Proxy, error) {
+	u, err := url.Parse(backendURL)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		backend:  u,
+		client:   &http.Client{},
+		dropNext: map[Point]int{},
+		holdCh:   map[Point]chan struct{}{},
+		after:    map[Point][]func(){},
+	}, nil
+}
+
+// Handler returns the proxying handler.
+func (p *Proxy) Handler() http.Handler { return http.HandlerFunc(p.serve) }
+
+// Sever simulates the worker's machine vanishing: every request — and
+// every response still in flight through the proxy — aborts at the
+// connection level from now on, until Restore.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.severed = true
+}
+
+// Restore undoes Sever.
+func (p *Proxy) Restore() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.severed = false
+}
+
+// DropNext aborts the next n requests (or, for PointResult, responses)
+// classified at the point.
+func (p *Proxy) DropNext(pt Point, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropNext[pt] += n
+}
+
+// Hold blocks traffic at the point until the returned release function
+// is called (idempotent). Holding PointResult parks the response that
+// would deliver the finished partial — the worker has executed, the
+// coordinator hasn't heard — the window where late-duplicate discard
+// and mid-execute death races live.
+func (p *Proxy) Hold(pt Point) (release func()) {
+	p.mu.Lock()
+	ch := make(chan struct{})
+	p.holdCh[pt] = ch
+	p.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			if p.holdCh[pt] == ch {
+				delete(p.holdCh, pt)
+			}
+			p.mu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// After registers a one-shot hook that fires right after traffic passes
+// the point — After(PointDispatch, ...) fires the moment a shard
+// submission has been accepted and answered, i.e. the start of
+// mid-execute. Hooks run synchronously on the request's goroutine, so a
+// script can sever the proxy, stop heartbeats, and advance a fake clock
+// at an exact protocol moment.
+func (p *Proxy) After(pt Point, f func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.after[pt] = append(p.after[pt], f)
+}
+
+// act consults the script for the point; it reports whether to abort,
+// after blocking on any hold. A held request whose client gives up
+// (context canceled) aborts rather than pinning the server.
+func (p *Proxy) act(ctx context.Context, pt Point) (abort bool) {
+	p.mu.Lock()
+	if p.severed {
+		p.mu.Unlock()
+		return true
+	}
+	if p.dropNext[pt] > 0 {
+		p.dropNext[pt]--
+		p.mu.Unlock()
+		return true
+	}
+	hold := p.holdCh[pt]
+	p.mu.Unlock()
+	if hold != nil {
+		select {
+		case <-hold:
+		case <-ctx.Done():
+			return true
+		}
+		// The world may have changed while held (severed, new drops).
+		return p.act(ctx, pt)
+	}
+	return false
+}
+
+// fireAfter runs and clears the point's one-shot hooks.
+func (p *Proxy) fireAfter(pt Point) {
+	p.mu.Lock()
+	hooks := p.after[pt]
+	delete(p.after, pt)
+	p.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
+
+func classify(r *http.Request) Point {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/shards" {
+		return PointDispatch
+	}
+	if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/result") {
+		return PointPoll
+	}
+	return ""
+}
+
+// finished reports whether a poll response body carries a terminal
+// status — the payload a pre-result fault must intercept.
+func finished(body []byte) bool {
+	var res struct {
+		Status string `json:"status"`
+	}
+	if json.Unmarshal(body, &res) != nil {
+		return false
+	}
+	return res.Status == "done" || res.Status == "error"
+}
+
+func (p *Proxy) serve(rw http.ResponseWriter, r *http.Request) {
+	pt := classify(r)
+	if pt != "" && p.act(r.Context(), pt) {
+		panic(http.ErrAbortHandler)
+	}
+	if pt == "" {
+		p.mu.Lock()
+		severed := p.severed
+		p.mu.Unlock()
+		if severed {
+			panic(http.ErrAbortHandler)
+		}
+	}
+
+	// Forward to the backend.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	u := *p.backend
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+
+	// Response-side points: a finished result about to be delivered.
+	delivered := pt
+	if pt == PointPoll && finished(respBody) {
+		delivered = PointResult
+		if p.act(r.Context(), PointResult) {
+			panic(http.ErrAbortHandler)
+		}
+	}
+
+	// A sever that landed while the backend worked aborts the delivery.
+	p.mu.Lock()
+	severed := p.severed
+	p.mu.Unlock()
+	if severed {
+		panic(http.ErrAbortHandler)
+	}
+
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		rw.Header().Set("Content-Type", ct)
+	}
+	rw.WriteHeader(resp.StatusCode)
+	_, _ = rw.Write(respBody)
+	if delivered != "" {
+		p.fireAfter(delivered)
+	}
+}

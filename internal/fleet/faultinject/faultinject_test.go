@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeWorker answers the fleet worker shapes the proxy classifies:
+// submissions accept, result polls report running until the job is
+// marked finished.
+type fakeWorker struct {
+	finished atomic.Bool
+	polls    atomic.Int32
+}
+
+func (w *fakeWorker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/shards":
+		rw.WriteHeader(http.StatusAccepted)
+		io.WriteString(rw, `{"id": "job-1"}`)
+	case r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/result"):
+		w.polls.Add(1)
+		if w.finished.Load() {
+			io.WriteString(rw, `{"id": "job-1", "status": "done"}`)
+		} else {
+			io.WriteString(rw, `{"id": "job-1", "status": "running"}`)
+		}
+	default:
+		rw.WriteHeader(http.StatusNotFound)
+	}
+}
+
+func startProxy(t *testing.T) (*fakeWorker, *Proxy, *httptest.Server) {
+	t.Helper()
+	w := &fakeWorker{}
+	backend := httptest.NewServer(w)
+	t.Cleanup(backend.Close)
+	p, err := New(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p.Handler())
+	t.Cleanup(front.Close)
+	return w, p, front
+}
+
+func post(t *testing.T, url string) (*http.Response, error) {
+	t.Helper()
+	return http.Post(url+"/v1/shards", "application/json", strings.NewReader(`{}`))
+}
+
+func TestProxyPassesAndClassifies(t *testing.T) {
+	w, _, front := startProxy(t)
+	resp, err := post(t, front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("dispatch through proxy: HTTP %d", resp.StatusCode)
+	}
+	w.finished.Store(true)
+	resp, err = http.Get(front.URL + "/v1/shards/job-1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"done"`) {
+		t.Fatalf("result through proxy: %s", body)
+	}
+}
+
+func TestProxyDropNextAndSever(t *testing.T) {
+	_, p, front := startProxy(t)
+	p.DropNext(PointDispatch, 1)
+	if _, err := post(t, front.URL); err == nil {
+		t.Fatal("dropped dispatch still answered")
+	}
+	// The drop was one-shot.
+	resp, err := post(t, front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	p.Sever()
+	if _, err := post(t, front.URL); err == nil {
+		t.Fatal("severed proxy still answered")
+	}
+	if _, err := http.Get(front.URL + "/v1/shards/job-1/result"); err == nil {
+		t.Fatal("severed proxy still answered polls")
+	}
+	p.Restore()
+	resp, err = post(t, front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestProxyDropsOnlyFinishedResults(t *testing.T) {
+	w, p, front := startProxy(t)
+	p.DropNext(PointResult, 1)
+	// Running polls pass while the fault waits for the real result.
+	resp, err := http.Get(front.URL + "/v1/shards/job-1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	w.finished.Store(true)
+	if _, err := http.Get(front.URL + "/v1/shards/job-1/result"); err == nil {
+		t.Fatal("finished result was delivered through a pre-result drop")
+	}
+	// One-shot: the retry gets through.
+	resp, err = http.Get(front.URL + "/v1/shards/job-1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestProxyHoldAndAfterHooks(t *testing.T) {
+	w, p, front := startProxy(t)
+	w.finished.Store(true)
+
+	fired := make(chan struct{})
+	p.After(PointDispatch, func() { close(fired) })
+	resp, err := post(t, front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case <-fired:
+	default:
+		t.Fatal("After(PointDispatch) hook did not fire before the response was readable")
+	}
+
+	release := p.Hold(PointResult)
+	got := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(front.URL + "/v1/shards/job-1/result")
+		if err == nil {
+			resp.Body.Close()
+		}
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("held result delivered early (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("released result errored: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("released result never delivered")
+	}
+	release() // idempotent
+}

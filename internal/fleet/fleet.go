@@ -16,30 +16,97 @@ import (
 
 // Config tunes a Coordinator.
 type Config struct {
-	// Workers lists worker addresses ("host:port" or full http:// URLs).
+	// Workers lists static worker addresses ("host:port" or full http://
+	// URLs). Leave empty when Registry is set.
 	Workers []string
+	// Registry switches the coordinator to elastic dispatch: shards run
+	// on the live self-registered workers instead of a static list,
+	// workers may join mid-run, and a worker that misses heartbeats
+	// while holding a shard triggers an immediate re-dispatch on another
+	// worker (the dead one excluded, so the shard doesn't bounce back)
+	// instead of burning a ShardTimeout.
+	Registry *Registry
+	// MinWorkers delays the first dispatch until this many workers are
+	// live (elastic mode; default 1).
+	MinWorkers int
 	// Shards is the partition count (0 = one shard per worker). More
 	// shards than workers is fine — workers pick up the next shard as
 	// they finish — and often better for load balance.
 	Shards int
 	// Attempts bounds how many workers one shard is tried on before the
-	// run fails (0 = min(3, len(Workers))). Retries move to the next
-	// worker round-robin, so a dead worker costs one failed attempt per
-	// shard, not the run.
+	// run fails (static default: min(3, len(Workers)); elastic default:
+	// 5). Retries move to another worker, excluding the ones that
+	// already failed the shard.
 	Attempts int
+	// RetryBackoff is the pause before a shard retries on a worker that
+	// already failed it — the single-live-worker case, where excluding
+	// the failed worker would otherwise starve the shard and not
+	// excluding it would hot-loop (0 = 250ms).
+	RetryBackoff time.Duration
+	// DrainGrace is how long the dispatcher waits, after the run
+	// completes, for superseded attempts to deliver naturally before
+	// canceling them (0 = cancel immediately). Late results are
+	// discarded by shard-attempt id either way.
+	DrainGrace time.Duration
 	// PollTimeout is the long-poll duration of each result request
 	// (0 = 30s).
 	PollTimeout time.Duration
 	// ShardTimeout bounds one shard attempt end to end, dispatch through
-	// result (0 = 10m). A worker that accepted a job but hangs charges
-	// one attempt when it expires.
+	// result (0 = 10m). A worker that accepted a job but hangs — while
+	// still heartbeating — charges one attempt when it expires; a worker
+	// that stops heartbeating is handled far sooner by re-dispatch.
 	ShardTimeout time.Duration
 	// Client overrides the HTTP client (nil = a default without global
 	// timeout; per-request contexts bound every call).
 	Client *http.Client
 	// Logf, when set, receives dispatch/retry/completion logs.
 	Logf func(format string, args ...interface{})
+	// OnEvent, when set, observes dispatch lifecycle events (progress
+	// UIs, fault-injection tests). Called from the dispatcher goroutine;
+	// keep handlers fast.
+	OnEvent func(Event)
 }
+
+// Event is one dispatch lifecycle observation.
+type Event struct {
+	// Kind is one of the Event* constants.
+	Kind string
+	// Shard is the shard index (-1 for fleet-wide events).
+	Shard int
+	// Attempt is the 1-based attempt number — for backoff events, the
+	// attempt the backoff delays (0 when not attempt-scoped).
+	Attempt int
+	// Worker is the worker id (elastic) or address (static); empty for
+	// events not tied to one worker (an elastic backoff excludes them
+	// all).
+	Worker string
+	// Detail carries the reason or error text.
+	Detail string
+}
+
+// Dispatch lifecycle event kinds.
+const (
+	// EventDispatch: a shard attempt was sent to a worker.
+	EventDispatch = "dispatch"
+	// EventWorkerJoin: a worker became live (elastic).
+	EventWorkerJoin = "worker-join"
+	// EventWorkerDead: a worker missed its heartbeats while holding a
+	// shard; the shard is re-enqueued immediately (elastic).
+	EventWorkerDead = "worker-dead"
+	// EventRedispatch: a shard attempt failed and the shard was
+	// re-enqueued on the remaining workers.
+	EventRedispatch = "redispatch"
+	// EventBackoff: every live worker already failed the shard; the
+	// retry waits RetryBackoff before clearing the exclusions.
+	EventBackoff = "backoff"
+	// EventShardDone: a shard's first valid result was accepted.
+	EventShardDone = "shard-done"
+	// EventLateDiscard: a superseded attempt delivered a result after
+	// the shard completed; it was discarded by shard-attempt id.
+	EventLateDiscard = "late-discard"
+	// EventAbandon: a superseded attempt ended without a usable result.
+	EventAbandon = "abandon"
+)
 
 func (c Config) pollTimeout() time.Duration {
 	if c.PollTimeout <= 0 {
@@ -55,9 +122,19 @@ func (c Config) shardTimeout() time.Duration {
 	return c.ShardTimeout
 }
 
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.RetryBackoff
+}
+
 func (c Config) attempts() int {
 	if c.Attempts > 0 {
 		return c.Attempts
+	}
+	if c.Registry != nil {
+		return 5
 	}
 	if len(c.Workers) < 3 {
 		return len(c.Workers)
@@ -66,26 +143,28 @@ func (c Config) attempts() int {
 }
 
 // Coordinator runs scenarios across a fleet of workers: partition,
-// dispatch, retry, merge. Safe for sequential reuse across runs.
+// dispatch, retry, merge — over a static address list or, with a
+// Registry, over an elastic roster with mid-job re-dispatch. Safe for
+// sequential reuse across runs.
 type Coordinator struct {
 	cfg    Config
 	addrs  []string
 	client *http.Client
 }
 
-// New validates the worker list and builds a coordinator.
+// New validates the configuration and builds a coordinator.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
+	if cfg.Registry != nil && len(cfg.Workers) > 0 {
+		return nil, fmt.Errorf("fleet: Registry and a static worker list are exclusive")
+	}
+	if cfg.Registry == nil && len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("fleet: no workers")
 	}
 	addrs := make([]string, len(cfg.Workers))
 	for i, a := range cfg.Workers {
-		a = strings.TrimSuffix(strings.TrimSpace(a), "/")
+		a = normalizeAddr(a)
 		if a == "" {
 			return nil, fmt.Errorf("fleet: empty worker address")
-		}
-		if !strings.Contains(a, "://") {
-			a = "http://" + a
 		}
 		addrs[i] = a
 	}
@@ -96,17 +175,39 @@ func New(cfg Config) (*Coordinator, error) {
 	return &Coordinator{cfg: cfg, addrs: addrs, client: client}, nil
 }
 
+// normalizeAddr canonicalizes a worker or registry address: trimmed, no
+// trailing slash, http:// scheme added when missing ("" stays "").
+func normalizeAddr(a string) string {
+	a = strings.TrimSuffix(strings.TrimSpace(a), "/")
+	if a == "" {
+		return ""
+	}
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return a
+}
+
 func (c *Coordinator) logf(format string, args ...interface{}) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
 	}
 }
 
+func (c *Coordinator) event(ev Event) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(ev)
+	}
+}
+
 // Run partitions the spec, executes every shard on the fleet, and
 // merges the partials. The merged table is byte-identical to a local
 // unsharded scenario.Run of the same spec and config, whatever order
-// the shards complete in.
+// the shards complete in and whichever workers end up executing them.
 func (c *Coordinator) Run(spec *scenario.Spec, cfg scenario.RunConfig) (*scenario.Table, error) {
+	if c.cfg.Registry != nil {
+		return c.runElastic(spec, cfg)
+	}
 	space, err := scenario.NewSpace(spec, cfg)
 	if err != nil {
 		return nil, err
@@ -149,17 +250,31 @@ func (c *Coordinator) Run(spec *scenario.Spec, cfg scenario.RunConfig) (*scenari
 }
 
 // runShard tries one shard on successive workers until one returns a
-// partial.
+// partial. Wrapping back onto a worker that already failed the shard —
+// inevitable with a single worker — waits RetryBackoff first, so
+// retries never hot-loop.
 func (c *Coordinator) runShard(spec *scenario.Spec, cfg scenario.RunConfig, shard, shards int) (*scenario.Partial, error) {
 	attempts := c.cfg.attempts()
+	tried := make(map[string]bool, attempts)
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		addr := c.addrs[(shard+a)%len(c.addrs)]
-		partial, err := c.attemptShard(addr, spec, cfg, shard, shards)
+		if tried[addr] {
+			c.event(Event{Kind: EventBackoff, Shard: shard, Attempt: a + 1, Worker: addr, Detail: c.cfg.retryBackoff().String()})
+			c.logf("fleet: %s: shard %d/%d: retrying %s after %s backoff",
+				spec.Name, shard, shards, addr, c.cfg.retryBackoff())
+			time.Sleep(c.cfg.retryBackoff())
+		}
+		tried[addr] = true
+		c.event(Event{Kind: EventDispatch, Shard: shard, Attempt: a + 1, Worker: addr})
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shardTimeout())
+		partial, err := c.attemptShard(ctx, addr, spec, cfg, shard, shards)
+		cancel()
 		if err == nil {
 			return partial, nil
 		}
 		lastErr = fmt.Errorf("worker %s: %w", addr, err)
+		c.event(Event{Kind: EventRedispatch, Shard: shard, Attempt: a + 1, Worker: addr, Detail: err.Error()})
 		c.logf("fleet: %s: shard %d/%d attempt %d on %s failed: %v",
 			spec.Name, shard, shards, a+1, addr, err)
 	}
@@ -167,11 +282,8 @@ func (c *Coordinator) runShard(spec *scenario.Spec, cfg scenario.RunConfig, shar
 }
 
 // attemptShard dispatches one shard to one worker and long-polls for
-// its result.
-func (c *Coordinator) attemptShard(addr string, spec *scenario.Spec, cfg scenario.RunConfig, shard, shards int) (*scenario.Partial, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shardTimeout())
-	defer cancel()
-
+// its result until ctx expires.
+func (c *Coordinator) attemptShard(ctx context.Context, addr string, spec *scenario.Spec, cfg scenario.RunConfig, shard, shards int) (*scenario.Partial, error) {
 	body, err := json.Marshal(&ShardRequest{Spec: spec, Config: Settings(cfg), Shard: shard, Shards: shards})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,6 +132,52 @@ func TestFleetSurfacesJobErrors(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "no such file") {
 		t.Errorf("error %q does not carry the worker-side cause", err)
+	}
+}
+
+// TestStaticSingleWorkerRetryBacksOff: with a static one-worker fleet,
+// every retry wraps back onto the worker that just failed — the
+// coordinator must wait RetryBackoff between attempts instead of
+// hot-looping through its whole attempt budget in microseconds.
+func TestStaticSingleWorkerRetryBacksOff(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close() // now refuses connections
+	var mu sync.Mutex
+	var events []Event
+	coord, err := New(Config{
+		Workers:      []string{dead.URL},
+		Attempts:     3,
+		RetryBackoff: 30 * time.Millisecond,
+		Logf:         t.Logf,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = coord.Run(testSpec(), testCfg())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run against a dead fleet succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	backoffs := 0
+	for _, ev := range events {
+		if ev.Kind == EventBackoff {
+			backoffs++
+		}
+	}
+	// Attempts 2 and 3 both re-try the already-failed worker.
+	if backoffs != 2 {
+		t.Errorf("backoff events: %d, want 2 (events: %+v)", backoffs, events)
+	}
+	if elapsed < 60*time.Millisecond {
+		t.Errorf("3 attempts finished in %s: retries cannot have backed off 30ms each", elapsed)
 	}
 }
 

@@ -2,10 +2,14 @@
 // a Coordinator partitions a spec's point-space into shards, dispatches
 // them to Workers over HTTP, retries failures on other workers, and
 // merges the returned partials into output byte-identical to an
-// unsharded run.
+// unsharded run. Workers are addressed either by a static list or —
+// elastic mode — through a Registry they self-register with and
+// heartbeat; a worker that misses heartbeats while holding a shard has
+// that shard re-dispatched immediately (the dead worker excluded),
+// and late duplicate results are discarded by shard-attempt id.
 //
 // The protocol reuses the serving layer's idioms (strict JSON, long
-// polls, {"error": ...} bodies):
+// polls, {"error": ...} bodies). Worker side:
 //
 //	POST /v1/shards              — {"spec": ..., "config": ..., "shard":
 //	                               i, "shards": n} enqueues one shard
@@ -18,10 +22,21 @@
 //	                               polls again, else the partial or the
 //	                               execution error.
 //
+// Registry side (mounted next to the coordinator; workers drive it
+// through a Lease):
+//
+//	POST /v1/workers                — {"addr": ...} self-registration,
+//	                                  returns the id and heartbeat
+//	                                  cadence the lease must honor.
+//	POST /v1/workers/<id>/heartbeat — liveness beat; 404 after expiry
+//	                                  makes the lease re-register.
+//	GET  /v1/workers                — the live/dead roster.
+//
 // Workers are stateless beyond their in-flight jobs: every shard request
 // carries the full spec and run settings, and the worker re-enumerates
 // the point-space locally (the enumeration is deterministic), so any
-// worker can execute any shard — the property retries rely on.
+// worker can execute any shard — the property retries and mid-job
+// re-dispatch rely on.
 package fleet
 
 import (

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -100,6 +101,17 @@ func (p *Partition) Execute() (*Partial, error) {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
 
+	// A seeds axis owns the leading "seed" column; prepending here, once,
+	// keeps every kind executor seed-agnostic.
+	if spec.seeded() {
+		for li, pt := range p.Points {
+			cell := strconv.FormatInt(s.subs[pt.SeedIdx].seed, 10)
+			for ri := range rows[li] {
+				rows[li][ri] = append([]string{cell}, rows[li][ri]...)
+			}
+		}
+	}
+
 	out := &Partial{
 		Scenario: spec.Name,
 		Config:   cfg.Settings(),
@@ -149,8 +161,9 @@ func (p *Partition) executeEval(rows [][][]string, report func(int)) error {
 	}
 	errs := make([]error, n)
 	par.For(n, spec.Workers, func(i int) {
-		pt := s.systems[p.Points[i].Index]
-		row, err := evalRow(spec, cfg, s.topo, pt, innerWorkers)
+		sub := s.subs[p.Points[i].SeedIdx]
+		pt := sub.systems[p.Points[i].Index]
+		row, err := evalRow(spec, cfg, sub.topo, pt, innerWorkers)
 		if err != nil {
 			errs[i] = fmt.Errorf("system %s/%d: %w", pt.spec.Family, pt.spec.Param, err)
 			return
@@ -172,39 +185,50 @@ type sweepSetup struct {
 	values []float64
 }
 
-// sweepSetups builds setups for every system the partition touches, in
-// system order (deterministic and serial: chunks of one system share the
-// evaluation read-only afterwards).
-func (p *Partition) sweepSetups() (map[int]*sweepSetup, error) {
+// setupKey addresses per-(seed sub-space, group) shared state: the
+// system index for sweeps, the threshold index for protocol grids.
+type setupKey struct{ seed, group int }
+
+// sweepSetups builds setups for every (seed, system) the partition
+// touches, in (seed, system) order (deterministic and serial: chunks of
+// one system share the evaluation read-only afterwards).
+func (p *Partition) sweepSetups() (map[setupKey]*sweepSetup, error) {
 	s := p.space
 	spec, cfg := s.spec, s.cfg
-	setups := map[int]*sweepSetup{}
-	var order []int
+	setups := map[setupKey]*sweepSetup{}
+	var order []setupKey
 	for _, pt := range p.Points {
-		if _, ok := setups[pt.Index]; !ok {
-			setups[pt.Index] = nil
-			order = append(order, pt.Index)
+		k := setupKey{pt.SeedIdx, pt.Index}
+		if _, ok := setups[k]; !ok {
+			setups[k] = nil
+			order = append(order, k)
 		}
 	}
-	sort.Ints(order)
-	for _, si := range order {
-		pt := s.systems[si]
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].seed != order[b].seed {
+			return order[a].seed < order[b].seed
+		}
+		return order[a].group < order[b].group
+	})
+	for _, k := range order {
+		sub := s.subs[k.seed]
+		pt := sub.systems[k.group]
 		sys, err := pt.spec.Build()
 		if err != nil {
 			return nil, err
 		}
-		f, err := buildPlacement(spec, cfg, s.topo, sys, spec.Workers)
+		f, err := buildPlacement(spec, cfg, sub.topo, sys, spec.Workers)
 		if err != nil {
 			return nil, err
 		}
-		e, err := core.NewEval(s.topo, sys, f, core.AlphaForDemand(spec.Sweep.Demand))
+		e, err := core.NewEval(sub.topo, sys, f, core.AlphaForDemand(spec.Sweep.Demand))
 		if err != nil {
 			return nil, err
 		}
 		// Populate the evaluator's lazy caches before chunks share it.
 		e.Prewarm()
 		lopt := sys.OptimalLoad()
-		setups[si] = &sweepSetup{sys: sys, e: e, lopt: lopt, values: strategy.SweepValues(lopt, spec.Sweep.Points)}
+		setups[k] = &sweepSetup{sys: sys, e: e, lopt: lopt, values: strategy.SweepValues(lopt, spec.Sweep.Points)}
 	}
 	return setups, nil
 }
@@ -229,7 +253,7 @@ func (p *Partition) executeSweep(rows [][][]string, report func(int)) error {
 	errs := make([]error, n)
 	par.For(n, spec.Workers, func(i int) {
 		pt := p.Points[i]
-		su := setups[pt.Index]
+		su := setups[setupKey{pt.SeedIdx, pt.Index}]
 		lo, hi := strategy.ChunkBounds(pt.Sub, len(su.values))
 		chunk := su.values[lo:hi]
 		results := make([][]strategy.SweepPoint, len(variants))
@@ -275,44 +299,70 @@ func (p *Partition) executeSweep(rows [][][]string, report func(int)) error {
 
 // -------------------------------------------------------------- iterate
 
+// iterSetup is the per-seed state iterate points share: the system, the
+// one-to-one baseline delay, and the capacity grid.
+type iterSetup struct {
+	sys      quorum.System
+	otoDelay float64
+	values   []float64
+}
+
 func (p *Partition) executeIterate(rows [][][]string, report func(int)) error {
 	if len(p.Points) == 0 {
 		return nil
 	}
 	s := p.space
 	spec, cfg := s.spec, s.cfg
-	sys, err := s.systems[0].spec.Build()
-	if err != nil {
-		return err
-	}
 
-	// One-to-one baseline under the balanced strategy (the iterative
-	// algorithm's uniform starting strategy). Every shard recomputes it —
-	// it is deterministic and cheap next to one iterate point.
-	oto, err := buildPlacement(spec, cfg, s.topo, sys, spec.Workers)
-	if err != nil {
-		return err
+	// One setup per seed sub-space the partition touches, built serially
+	// in seed order. The one-to-one baseline runs under the balanced
+	// strategy (the iterative algorithm's uniform starting strategy);
+	// every shard recomputes it — it is deterministic and cheap next to
+	// one iterate point.
+	setups := map[int]*iterSetup{}
+	var order []int
+	for _, pt := range p.Points {
+		if _, ok := setups[pt.SeedIdx]; !ok {
+			setups[pt.SeedIdx] = nil
+			order = append(order, pt.SeedIdx)
+		}
 	}
-	eOto, err := core.NewEval(s.topo, sys, oto, 0)
-	if err != nil {
-		return err
-	}
-	otoDelay := eOto.AvgNetworkDelay(core.BalancedStrategy{})
-
+	sort.Ints(order)
 	maxIter := spec.Iterate.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 2
 	}
 	alpha := core.AlphaForDemand(spec.Iterate.Demand)
-	values := strategy.SweepValues(sys.OptimalLoad(), spec.Iterate.Points)
+	for _, si := range order {
+		sub := s.subs[si]
+		sys, err := sub.systems[0].spec.Build()
+		if err != nil {
+			return err
+		}
+		oto, err := buildPlacement(spec, cfg, sub.topo, sys, spec.Workers)
+		if err != nil {
+			return err
+		}
+		eOto, err := core.NewEval(sub.topo, sys, oto, 0)
+		if err != nil {
+			return err
+		}
+		setups[si] = &iterSetup{
+			sys:      sys,
+			otoDelay: eOto.AvgNetworkDelay(core.BalancedStrategy{}),
+			values:   strategy.SweepValues(sys.OptimalLoad(), spec.Iterate.Points),
+		}
+	}
 
 	// Each capacity value runs the full iterative algorithm independently
 	// on its own topology clone.
 	n := len(p.Points)
 	errs := make([]error, n)
 	par.For(n, spec.Workers, func(i int) {
+		su := setups[p.Points[i].SeedIdx]
+		sys, values, otoDelay := su.sys, su.values, su.otoDelay
 		vi := p.Points[i].Index
-		tp := s.topo.Clone()
+		tp := s.subs[p.Points[i].SeedIdx].topo.Clone()
 		if err := tp.SetUniformCapacity(values[vi]); err != nil {
 			errs[i] = err
 			return
@@ -360,27 +410,34 @@ func (p *Partition) executeProtocol(rows [][][]string, report func(int)) error {
 	}
 
 	// Build the (placement, representative clients) setup for every
-	// threshold the partition touches, serially in t order.
-	setups := map[int]*protocolSetup{}
-	var order []int
+	// (seed, threshold) the partition touches, serially in (seed, t)
+	// order.
+	setups := map[setupKey]*protocolSetup{}
+	var order []setupKey
 	for _, pt := range p.Points {
-		ti := pt.Index / len(ps.PerSite)
-		if _, ok := setups[ti]; !ok {
-			setups[ti] = nil
-			order = append(order, ti)
+		k := setupKey{pt.SeedIdx, pt.Index / len(ps.PerSite)}
+		if _, ok := setups[k]; !ok {
+			setups[k] = nil
+			order = append(order, k)
 		}
 	}
-	sort.Ints(order)
-	for _, ti := range order {
-		sys, err := quorum.QUMajority(ps.Ts[ti])
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].seed != order[b].seed {
+			return order[a].seed < order[b].seed
+		}
+		return order[a].group < order[b].group
+	})
+	for _, k := range order {
+		sub := s.subs[k.seed]
+		sys, err := quorum.QUMajority(ps.Ts[k.group])
 		if err != nil {
 			return err
 		}
-		f, err := placement.MajorityOneToOne(s.topo, sys, placement.Options{Workers: spec.Workers})
+		f, err := placement.MajorityOneToOne(sub.topo, sys, placement.Options{Workers: spec.Workers})
 		if err != nil {
 			return err
 		}
-		e, err := core.NewEval(s.topo, sys, f, 0)
+		e, err := core.NewEval(sub.topo, sys, f, 0)
 		if err != nil {
 			return err
 		}
@@ -388,7 +445,7 @@ func (p *Partition) executeProtocol(rows [][][]string, report func(int)) error {
 		if err != nil {
 			return err
 		}
-		setups[ti] = &protocolSetup{sys: sys, serverSites: f.Targets(), clientSites: clients}
+		setups[k] = &protocolSetup{sys: sys, serverSites: f.Targets(), clientSites: clients}
 	}
 
 	// The partition's cells fan out over the pool: each is an
@@ -397,7 +454,7 @@ func (p *Partition) executeProtocol(rows [][][]string, report func(int)) error {
 	errs := make([]error, n)
 	par.For(n, spec.Workers, func(i int) {
 		cell := p.Points[i].Index
-		su := setups[cell/len(ps.PerSite)]
+		su := setups[setupKey{p.Points[i].SeedIdx, cell / len(ps.PerSite)}]
 		perSite := ps.PerSite[cell%len(ps.PerSite)]
 		var clients []int
 		for _, site := range su.clientSites {
@@ -406,7 +463,7 @@ func (p *Partition) executeProtocol(rows [][][]string, report func(int)) error {
 			}
 		}
 		m, err := protocol.RunSimAveraged(protocol.Config{
-			Topo:          s.topo,
+			Topo:          s.subs[p.Points[i].SeedIdx].topo,
 			ServerSites:   su.serverSites,
 			QuorumSize:    su.sys.QuorumSize(),
 			ClientSites:   clients,
@@ -443,15 +500,18 @@ func (p *Partition) executeProtocol(rows [][][]string, report func(int)) error {
 // ------------------------------------------------------------- timeline
 
 func (p *Partition) executeTimeline(rows [][][]string, report func(int)) error {
-	if len(p.Points) == 0 {
-		return nil
-	}
 	s := p.space
-	trows, err := runTimelineRows(s.spec, s.cfg, s.topo, s.systems)
-	if err != nil {
-		return err
+	// One indivisible timeline per seed sub-space; each drives its own
+	// planner over its own topology, serially (the engine pool belongs to
+	// the planner stages inside each run).
+	for li, pt := range p.Points {
+		sub := s.subs[pt.SeedIdx]
+		trows, err := runTimelineRows(s.spec, s.cfg, sub.topo, sub.systems)
+		if err != nil {
+			return err
+		}
+		rows[li] = trows
+		report(li)
 	}
-	rows[0] = trows
-	report(0)
 	return nil
 }

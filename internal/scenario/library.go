@@ -1,13 +1,17 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
 
 func fp(v float64) *float64 { return &v }
 
 // Library returns the built-in workload scenarios: the wide-area
-// conditions a deployed quorum system re-plans around. Each is a
-// timeline over the staged planner; run them with Run or through
-// `quorumbench -scenario <name>`.
+// conditions a deployed quorum system re-plans around, plus the
+// multi-seed scaled parameter study the sharded fleet was built for.
+// Run them with Run or through `quorumbench -scenario <name>`.
 func Library() []Spec {
 	return []Spec{
 		RegionalOutage(),
@@ -17,6 +21,7 @@ func Library() []Spec {
 		FlashCrowd(),
 		HeterogeneousDemand(),
 		CorrelatedFailure(),
+		SeedScaleStudy(),
 	}
 }
 
@@ -211,6 +216,43 @@ func CorrelatedFailure() Spec {
 				{Name: "eu-new-milan", Region: "europe", Lat: 45.46, Lon: 9.19, AccessMS: 2},
 			}},
 		},
+	}
+}
+
+// SeedScaleStudy is the one-spec shape of the paper's parameter
+// studies at fleet scale: the same capacity sweep repeated over three
+// independently generated WANs (the seeds axis), with the topology
+// doubled and the demand doubled by scale multipliers. Every (seed,
+// system, warm-start chunk) is its own shardable point, so the study
+// spreads over however many fleet workers are live — and merges
+// byte-identically to a local run.
+func SeedScaleStudy() Spec {
+	return Spec{
+		Name:  "seed-scale-study",
+		Title: "Grid capacity sweep over 3 seeded synthetic WANs, sites x2, demand x2",
+		Kind:  KindSweep,
+		Notes: []string{
+			"each seed generates an independent 16-site WAN (8 base sites x scale.sites 2)",
+			"scale.clients 2 doubles the sweep demand; rows lead with the generating seed",
+			"every (seed, system, chunk) point shards independently: run it with -fleet or -shards",
+		},
+		Seeds: []int64{101, 102, 103},
+		Scale: &ScaleSpec{Sites: 2, Clients: 2},
+		Topology: TopologySpec{
+			Source: "synth",
+			Synth: &topology.GenConfig{
+				Name:      "seed-scale-8",
+				Inflation: 1.4,
+				Regions: []topology.RegionSpec{
+					{Name: "na-west", Count: 2, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+					{Name: "na-east", Count: 2, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+					{Name: "europe", Count: 2, LatMin: 44, LatMax: 55, LonMin: -2, LonMax: 15, AccessMin: 1, AccessMax: 4},
+					{Name: "asia", Count: 2, LatMin: 22, LatMax: 38, LonMin: 103, LonMax: 140, AccessMin: 2, AccessMax: 6},
+				},
+			},
+		},
+		Systems: []SystemAxis{{Family: "grid", Params: []int{2, 3}}},
+		Sweep:   &SweepSpec{Points: 6, Demand: 4000},
 	}
 }
 

@@ -16,111 +16,73 @@ type Point struct {
 	Ordinal int `json:"ordinal"`
 	// Label describes the unit for progress logs and error messages.
 	Label string `json:"label"`
+	// SeedIdx selects the seed sub-space the point belongs to (an index
+	// into Spec.Seeds; always 0 without a seeds axis).
+	SeedIdx int `json:"seed,omitempty"`
 	// Index addresses the unit within its kind's axes: the expanded
 	// system (eval), the system of a sweep chunk (sweep), the capacity
 	// value (iterate), the flattened (t, per-site) cell (protocol). A
-	// timeline has a single point with Index 0.
+	// timeline has one point per seed sub-space, with Index 0.
 	Index int `json:"index"`
 	// Sub is the warm-start chunk index within the system (sweep only).
 	Sub int `json:"sub,omitempty"`
 }
 
+// seedSpace is one seed's slice of a Space: the topology generated for
+// that seed and the system axes expanded against it. A spec without a
+// seeds axis has exactly one.
+type seedSpace struct {
+	// seed is the axis value (the run seed when there is no axis).
+	seed    int64
+	topo    *topology.Topology
+	systems []systemPoint
+}
+
 // Space is the enumerated point-space of a spec: the deterministic,
 // ordered list of work units an unsharded run executes, plus the derived
 // output schema. Partitions, execution, and merging all hang off one
-// Space so every shard agrees on ordinals and columns.
+// Space so every shard agrees on ordinals and columns. A seeds axis
+// concatenates one sub-space per seed, each independently partition-able
+// (points deal round-robin across the whole enumeration).
 type Space struct {
-	spec    *Spec
-	cfg     RunConfig
-	topo    *topology.Topology
-	systems []systemPoint
-	points  []Point
+	spec   *Spec
+	cfg    RunConfig
+	subs   []*seedSpace
+	points []Point
 	// derived is the column set the spec's kind produces before any
 	// explicit Columns override.
 	derived []string
 }
 
-// NewSpace validates the spec, builds its topology, and enumerates its
-// point-space. The enumeration depends only on the spec and the
-// RunConfig seed — never on worker counts or scheduling — so every
-// shard of a fleet recomputes the identical ordering.
+// NewSpace validates the spec, builds its topologies (one per seed),
+// and enumerates its point-space. The enumeration depends only on the
+// spec and the RunConfig seed — never on worker counts or scheduling —
+// so every shard of a fleet recomputes the identical ordering. Scale
+// multipliers are folded in here, once, for the same reason.
 func NewSpace(spec *Spec, cfg RunConfig) (*Space, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	topo, err := buildTopology(spec.Topology, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	spec = spec.effective()
+	s := &Space{spec: spec, cfg: cfg}
+	seeds := []int64{0}
+	if spec.seeded() {
+		seeds = spec.Seeds
 	}
-	s := &Space{spec: spec, cfg: cfg, topo: topo}
-	fail := func(format string, args ...interface{}) error {
-		return fmt.Errorf("scenario %q: %s", spec.Name, fmt.Sprintf(format, args...))
-	}
-	s.systems = expandSystems(spec.Systems, topo.Size())
-	switch spec.Kind {
-	case KindEval:
-		if len(s.systems) == 0 {
-			return nil, fail("system axes expand to no systems")
+	for si, seed := range seeds {
+		ts := spec.Topology
+		if spec.seeded() {
+			ts.Seed = seed
 		}
-		for i, pt := range s.systems {
-			s.points = append(s.points, Point{
-				Ordinal: i,
-				Index:   i,
-				Label:   fmt.Sprintf("eval %s/%d", pt.spec.Family, pt.spec.Param),
-			})
+		topo, err := buildTopology(ts, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: seed %d: %w", spec.Name, seed, err)
 		}
-	case KindSweep:
-		if len(s.systems) == 0 {
-			return nil, fail("system axes expand to no systems")
+		sub := &seedSpace{seed: seed, topo: topo, systems: expandSystems(spec.Systems, topo.Size())}
+		s.subs = append(s.subs, sub)
+		if err := s.enumerate(si, sub); err != nil {
+			return nil, err
 		}
-		// One point per (system, warm-start chunk), at the exact chunk
-		// boundaries the strategy sweeps use: a sharded chunk re-runs the
-		// same cold-then-warm solve chain as its slice of an unsharded
-		// sweep, so even fast-mode output is identical.
-		nVals := spec.Sweep.Points
-		nChunks := (nVals + strategy.SweepChunkSize - 1) / strategy.SweepChunkSize
-		for si, pt := range s.systems {
-			for ci := 0; ci < nChunks; ci++ {
-				lo, hi := strategy.ChunkBounds(ci, nVals)
-				s.points = append(s.points, Point{
-					Ordinal: len(s.points),
-					Index:   si,
-					Sub:     ci,
-					Label:   fmt.Sprintf("sweep %s/%d values %d..%d", pt.spec.Family, pt.spec.Param, lo, hi-1),
-				})
-			}
-		}
-	case KindIterate:
-		if len(s.systems) != 1 {
-			return nil, fail("iterate scenario needs exactly one system, axes expand to %d", len(s.systems))
-		}
-		for i := 0; i < spec.Iterate.Points; i++ {
-			s.points = append(s.points, Point{
-				Ordinal: i,
-				Index:   i,
-				Label:   fmt.Sprintf("iterate value %d/%d", i+1, spec.Iterate.Points),
-			})
-		}
-	case KindProtocol:
-		ps := spec.Protocol
-		for i := 0; i < len(ps.Ts)*len(ps.PerSite); i++ {
-			t := ps.Ts[i/len(ps.PerSite)]
-			per := ps.PerSite[i%len(ps.PerSite)]
-			s.points = append(s.points, Point{
-				Ordinal: i,
-				Index:   i,
-				Label:   fmt.Sprintf("protocol t=%d clients=%d", t, per*ps.clientSites()),
-			})
-		}
-	case KindTimeline:
-		if len(s.systems) != 1 {
-			return nil, fail("timeline scenario drives one planner; system axes expand to %d systems", len(s.systems))
-		}
-		// A timeline is inherently sequential (each step re-plans the
-		// previous step's state), so it is one indivisible point.
-		s.points = []Point{{Ordinal: 0, Label: fmt.Sprintf("timeline (%d steps)", len(spec.Timeline))}}
-	default:
-		return nil, fail("unknown kind %q", spec.Kind)
 	}
 	s.derived = deriveColumns(spec)
 	if len(spec.Columns) > 0 && len(spec.Columns) != len(s.derived) {
@@ -128,6 +90,76 @@ func NewSpace(spec *Spec, cfg RunConfig) (*Space, error) {
 			spec.Name, len(spec.Columns), len(s.derived), s.derived)
 	}
 	return s, nil
+}
+
+// enumerate appends the points of one seed sub-space, labeled and
+// seed-tagged, continuing the global ordinal sequence.
+func (s *Space) enumerate(si int, sub *seedSpace) error {
+	spec := s.spec
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("scenario %q: %s", spec.Name, fmt.Sprintf(format, args...))
+	}
+	add := func(index, chunk int, label string) {
+		if spec.seeded() {
+			label = fmt.Sprintf("seed %d: %s", sub.seed, label)
+		}
+		s.points = append(s.points, Point{
+			Ordinal: len(s.points),
+			Label:   label,
+			SeedIdx: si,
+			Index:   index,
+			Sub:     chunk,
+		})
+	}
+	switch spec.Kind {
+	case KindEval:
+		if len(sub.systems) == 0 {
+			return fail("system axes expand to no systems")
+		}
+		for i, pt := range sub.systems {
+			add(i, 0, fmt.Sprintf("eval %s/%d", pt.spec.Family, pt.spec.Param))
+		}
+	case KindSweep:
+		if len(sub.systems) == 0 {
+			return fail("system axes expand to no systems")
+		}
+		// One point per (system, warm-start chunk), at the exact chunk
+		// boundaries the strategy sweeps use: a sharded chunk re-runs the
+		// same cold-then-warm solve chain as its slice of an unsharded
+		// sweep, so even fast-mode output is identical.
+		nVals := spec.Sweep.Points
+		nChunks := (nVals + strategy.SweepChunkSize - 1) / strategy.SweepChunkSize
+		for sysIdx, pt := range sub.systems {
+			for ci := 0; ci < nChunks; ci++ {
+				lo, hi := strategy.ChunkBounds(ci, nVals)
+				add(sysIdx, ci, fmt.Sprintf("sweep %s/%d values %d..%d", pt.spec.Family, pt.spec.Param, lo, hi-1))
+			}
+		}
+	case KindIterate:
+		if len(sub.systems) != 1 {
+			return fail("iterate scenario needs exactly one system, axes expand to %d", len(sub.systems))
+		}
+		for i := 0; i < spec.Iterate.Points; i++ {
+			add(i, 0, fmt.Sprintf("iterate value %d/%d", i+1, spec.Iterate.Points))
+		}
+	case KindProtocol:
+		ps := spec.Protocol
+		for i := 0; i < len(ps.Ts)*len(ps.PerSite); i++ {
+			t := ps.Ts[i/len(ps.PerSite)]
+			per := ps.PerSite[i%len(ps.PerSite)]
+			add(i, 0, fmt.Sprintf("protocol t=%d clients=%d", t, per*ps.clientSites()))
+		}
+	case KindTimeline:
+		if len(sub.systems) != 1 {
+			return fail("timeline scenario drives one planner; system axes expand to %d systems", len(sub.systems))
+		}
+		// A timeline is inherently sequential (each step re-plans the
+		// previous step's state), so it is one indivisible point per seed.
+		add(0, 0, fmt.Sprintf("timeline (%d steps)", len(spec.Timeline)))
+	default:
+		return fail("unknown kind %q", spec.Kind)
+	}
+	return nil
 }
 
 // Spec returns the spec the space was enumerated from.
@@ -184,8 +216,16 @@ type Partition struct {
 // deriveColumns computes the column set a spec's run produces, before
 // any explicit Columns override. It depends only on the spec, so
 // partitioning, execution, and merging agree on the schema without
-// executing anything.
+// executing anything. A seeds axis prepends a "seed" column.
 func deriveColumns(spec *Spec) []string {
+	cols := deriveKindColumns(spec)
+	if spec.seeded() {
+		cols = append([]string{"seed"}, cols...)
+	}
+	return cols
+}
+
+func deriveKindColumns(spec *Spec) []string {
 	switch spec.Kind {
 	case KindEval:
 		cols := append([]string(nil), spec.rowColumnsOrDefault()...)

@@ -192,13 +192,17 @@ func TestEvalFaults(t *testing.T) {
 	}
 }
 
-// TestTimelineLibrary executes every built-in workload end to end and
-// checks the replanned column matches each scenario's story.
+// TestTimelineLibrary executes every built-in timeline workload end to
+// end and checks the replanned column matches each scenario's story
+// (the library's parameter studies have their own sharding tests).
 func TestTimelineLibrary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full timelines")
 	}
 	for _, spec := range Library() {
+		if spec.Kind != KindTimeline {
+			continue
+		}
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
 			tb, err := Run(&spec, RunConfig{})

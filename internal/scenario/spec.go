@@ -79,6 +79,18 @@ type Spec struct {
 	// Faults injects failures/slowdowns before evaluation (eval kind).
 	Faults *FaultSpec `json:"faults,omitempty"`
 
+	// Seeds is the seed axis: the whole study repeats over one generated
+	// topology per seed, each seed a separate partition-able sub-space of
+	// the point-space, and every row gains a leading "seed" column. Seed
+	// values pass to the topology source verbatim (so they need a
+	// seed-consuming source — anything but "file") and exclude the
+	// per-scenario topology.seed override.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Scale multiplies study axes in place, so the ~100x parameter
+	// studies sharding was built for live in one spec file instead of N
+	// hand-edited copies.
+	Scale *ScaleSpec `json:"scale,omitempty"`
+
 	Sweep    *SweepSpec    `json:"sweep,omitempty"`
 	Iterate  *IterateSpec  `json:"iterate,omitempty"`
 	Protocol *ProtocolSpec `json:"protocol,omitempty"`
@@ -183,6 +195,87 @@ func (a SystemAxis) expand(topoSize int) []plan.SystemSpec {
 		out = append(out, plan.SystemSpec{Family: a.Family, Param: p})
 	}
 	return out
+}
+
+// ScaleSpec multiplies study axes. Scaling happens once, when the
+// point-space is enumerated, so every shard of a fleet derives the
+// identical scaled study and merge stays byte-identical to an unsharded
+// run of the same spec.
+type ScaleSpec struct {
+	// Sites multiplies every synthetic region's site count (rounded up).
+	// Requires the "synth" topology source — the measured topologies
+	// have a fixed roster.
+	Sites float64 `json:"sites,omitempty"`
+	// Clients multiplies every demand-bearing knob: Demands, the sweep
+	// and iterate demand, protocol clients per site (rounded up, at
+	// least 1), and timeline demand steps.
+	Clients float64 `json:"clients,omitempty"`
+}
+
+// seeded reports whether the spec carries an explicit seed axis.
+func (s *Spec) seeded() bool { return len(s.Seeds) > 0 }
+
+// effective returns the spec the engine actually enumerates and
+// executes: the Scale multipliers folded into the axes they scale. It
+// is a pure function of the spec, so partitioning, execution, and
+// merging — on any process — derive the same scaled study.
+func (s *Spec) effective() *Spec {
+	if s.Scale == nil {
+		return s
+	}
+	c := *s
+	sc := *s.Scale
+	c.Scale = nil
+	if k := sc.Sites; k > 0 && c.Topology.Synth != nil {
+		synth := *c.Topology.Synth
+		synth.Regions = append([]topology.RegionSpec(nil), synth.Regions...)
+		for i := range synth.Regions {
+			synth.Regions[i].Count = int(math.Ceil(float64(synth.Regions[i].Count) * k))
+		}
+		c.Topology.Synth = &synth
+	}
+	if k := sc.Clients; k > 0 {
+		if len(c.Demands) > 0 {
+			d := make([]float64, len(c.Demands))
+			for i, v := range c.Demands {
+				d[i] = v * k
+			}
+			c.Demands = d
+		}
+		if c.Sweep != nil {
+			sw := *c.Sweep
+			sw.Demand *= k
+			c.Sweep = &sw
+		}
+		if c.Iterate != nil {
+			it := *c.Iterate
+			it.Demand *= k
+			c.Iterate = &it
+		}
+		if c.Protocol != nil {
+			ps := *c.Protocol
+			per := make([]int, len(ps.PerSite))
+			for i, v := range ps.PerSite {
+				per[i] = int(math.Ceil(float64(v) * k))
+				if per[i] < 1 {
+					per[i] = 1
+				}
+			}
+			ps.PerSite = per
+			c.Protocol = &ps
+		}
+		if len(c.Timeline) > 0 {
+			steps := append([]Step(nil), c.Timeline...)
+			for i := range steps {
+				if steps[i].Demand != nil {
+					v := *steps[i].Demand * k
+					steps[i].Demand = &v
+				}
+			}
+			c.Timeline = steps
+		}
+	}
+	return &c
 }
 
 // PlacementSpec selects the placement construction.
@@ -407,6 +500,38 @@ func (s *Spec) Validate() error {
 		case "majority", "bmajority", "qumajority", "grid", "singleton":
 		default:
 			return fail("unknown system family %q", a.Family)
+		}
+	}
+	if s.seeded() {
+		if s.Topology.Source == "file" {
+			return fail("seeds axis needs a seed-consuming topology source, not \"file\"")
+		}
+		if s.Topology.Seed != 0 {
+			return fail("seeds axis and topology.seed are exclusive")
+		}
+		seen := map[int64]bool{}
+		for _, seed := range s.Seeds {
+			if seed == 0 {
+				return fail("seed 0 means \"inherit the run seed\" elsewhere; use an explicit non-zero seed")
+			}
+			if seen[seed] {
+				return fail("seed %d appears twice in the seeds axis", seed)
+			}
+			seen[seed] = true
+		}
+	}
+	if sc := s.Scale; sc != nil {
+		if sc.Sites == 0 && sc.Clients == 0 {
+			return fail("scale multiplies nothing (set sites and/or clients)")
+		}
+		if sc.Sites < 0 || math.IsNaN(sc.Sites) || math.IsInf(sc.Sites, 0) {
+			return fail("invalid scale.sites %v", sc.Sites)
+		}
+		if sc.Clients < 0 || math.IsNaN(sc.Clients) || math.IsInf(sc.Clients, 0) {
+			return fail("invalid scale.clients %v", sc.Clients)
+		}
+		if sc.Sites > 0 && s.Topology.Source != "synth" {
+			return fail("scale.sites multiplies synthetic region counts; topology source is %q", s.Topology.Source)
 		}
 	}
 	for _, st := range s.Strategies {

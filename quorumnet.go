@@ -504,9 +504,17 @@ func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
 
 // ScenarioLibrary lists the built-in workload scenarios: regional
 // outage, diurnal demand shift, RTT drift, site churn, flash crowd,
-// heterogeneous demand, and correlated failure (a region outage with
-// same-epoch RTT degradation on the survivors).
+// heterogeneous demand, correlated failure (a region outage with
+// same-epoch RTT degradation on the survivors), and the multi-seed
+// scaled parameter study (seed-scale-study).
 func ScenarioLibrary() []Scenario { return scenario.Library() }
+
+// ScenarioScale multiplies a scenario's study axes in place: Sites
+// scales synthetic region counts, Clients scales every demand-bearing
+// knob. With the Seeds axis (run the same study over N generated
+// topologies, each an independently shardable sub-space), it puts the
+// ~100x parameter studies in one spec file.
+type ScenarioScale = scenario.ScaleSpec
 
 // ScenarioSpace is a scenario's enumerated point-space: the
 // deterministic, ordered list of work units an unsharded run executes.
@@ -545,15 +553,49 @@ func MergeScenario(spec *Scenario, cfg ScenarioConfig, partials []*ScenarioParti
 // Fleet coordinates sharded scenario execution across worker processes
 // over HTTP: it partitions the spec, dispatches shards, retries
 // failures on other workers, and merges the results byte-identically
-// to a local run.
+// to a local run. With a FleetRegistry it is elastic: workers join and
+// leave mid-run, and a worker that misses heartbeats while holding a
+// shard has the shard re-dispatched immediately.
 type Fleet = fleet.Coordinator
 
-// FleetConfig tunes a Fleet: worker addresses, shard count, retry
-// attempts, and poll timeouts.
+// FleetConfig tunes a Fleet: a static worker list or an elastic
+// Registry, shard count, retry attempts, backoff, and poll timeouts.
 type FleetConfig = fleet.Config
 
-// NewFleet validates the worker list and builds a coordinator.
+// FleetEvent is one dispatch lifecycle observation (dispatch,
+// worker-join, worker-dead, redispatch, backoff, shard-done,
+// late-discard, abandon) delivered to FleetConfig.OnEvent.
+type FleetEvent = fleet.Event
+
+// NewFleet validates the configuration and builds a coordinator.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// FleetRegistry tracks an elastic fleet's workers: self-registration
+// (POST /v1/workers), heartbeats, and liveness expiry after missed
+// beats. Mount Handler() next to the coordinator; workers keep a
+// registration Lease against it with JoinFleet.
+type FleetRegistry = fleet.Registry
+
+// FleetRegistryOptions tunes liveness tracking (heartbeat cadence and
+// the missed-beat budget).
+type FleetRegistryOptions = fleet.RegistryOptions
+
+// NewFleetRegistry builds a worker registry.
+func NewFleetRegistry(opts FleetRegistryOptions) *FleetRegistry { return fleet.NewRegistry(opts) }
+
+// FleetLease keeps one worker registered with a registry: it
+// registers, heartbeats at the advertised cadence, and re-registers
+// under a fresh id whenever the registry stops recognizing it.
+type FleetLease = fleet.Lease
+
+// FleetLeaseOptions tunes a lease's retry cadence and logging.
+type FleetLeaseOptions = fleet.LeaseOptions
+
+// JoinFleet starts a lease registering the advertise address (where
+// coordinators dispatch shards) with the registry.
+func JoinFleet(registryAddr, advertise string, opts FleetLeaseOptions) (*FleetLease, error) {
+	return fleet.Join(registryAddr, advertise, opts)
+}
 
 // FleetWorker executes shard jobs for coordinators; mount Handler() on
 // any http server (quorumbench -fleet-worker does exactly this).

@@ -30,7 +30,19 @@
 // may join mid-run):
 //
 //	quorumbench -fleet-worker -addr :9190 -join coordinator-host:9200
+//	quorumbench -fleet-worker -addr :9190 -join host:9200 -slots 4 -cores 8
 //	quorumbench -scenario seed-scale-study -fleet-registry :9200 -min-workers 3 -shards 12
+//
+// Durable runs (crash recovery): -journal records every dispatch and
+// completed shard to an append-only file; -resume reloads it, verifies
+// the spec hash, and dispatches only the shards without a recorded
+// result — the merged output is byte-identical to an uninterrupted run.
+// -standby tails a journal and takes over automatically when the
+// primary coordinator's lease goes stale:
+//
+//	quorumbench -fig 6.3 -fleet host1:9190,host2:9190 -shards 8 -journal run.journal
+//	quorumbench -resume run.journal -fleet host1:9190,host2:9190
+//	quorumbench -standby -journal run.journal -fleet-registry :9201
 //
 // -scenario runs a workload scenario: "list" prints the built-in
 // library, a library name runs that scenario, and anything else is
@@ -49,6 +61,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -62,6 +75,7 @@ import (
 
 	"github.com/quorumnet/quorumnet/internal/experiments"
 	"github.com/quorumnet/quorumnet/internal/fleet"
+	runjournal "github.com/quorumnet/quorumnet/internal/fleet/journal"
 	"github.com/quorumnet/quorumnet/internal/scenario"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -95,6 +109,12 @@ func run() int {
 		addr      = flag.String("addr", "127.0.0.1:9190", "listen address for -fleet-worker")
 		join      = flag.String("join", "", "registry address a -fleet-worker self-registers with (elastic fleet)")
 		advertise = flag.String("advertise", "", "address the worker advertises to the registry (default: -addr with 127.0.0.1 for an empty host)")
+		slots     = flag.Int("slots", 1, "shard slots a -fleet-worker advertises; coordinators weight dispatch by free slots")
+		cores     = flag.Int("cores", 0, "cores a -fleet-worker advertises (informational; shown in the registry roster)")
+		jpath     = flag.String("journal", "", "record this fleet run's dispatch/completion protocol to an append-only journal file")
+		resumeArg = flag.String("resume", "", "resume a crashed fleet run from its journal, dispatching only the unrecorded shards")
+		standby   = flag.Bool("standby", false, "tail -journal as a standby coordinator and take over when the primary's lease goes stale")
+		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "journal lease staleness a -standby waits for before taking over")
 		progress  = flag.Bool("progress", false, "log per-shard/per-point completion counts to stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
@@ -115,8 +135,61 @@ func run() int {
 		return 2
 	}
 
+	// Contradictory-flag rejection: each message names the conflict and
+	// the fix, so a bad invocation never half-runs.
+	if *worker && (*jpath != "" || *resumeArg != "" || *standby) {
+		fmt.Fprintln(os.Stderr, "quorumbench: -journal/-resume/-standby are coordinator flags; a -fleet-worker serves shards and keeps no journal — drop them or drop -fleet-worker")
+		return 2
+	}
+	if *shard >= 0 && *shards > 0 && *shard >= *shards {
+		fmt.Fprintf(os.Stderr, "quorumbench: -shard %d is out of range for -shards %d (shards are 0-based: 0..%d)\n", *shard, *shards, *shards-1)
+		return 2
+	}
+	if *fleetArg != "" && *fleetReg != "" {
+		fmt.Fprintln(os.Stderr, "quorumbench: -fleet and -fleet-registry are exclusive; pick a static worker list or an elastic registry")
+		return 2
+	}
+	if *resumeArg != "" {
+		if *standby {
+			fmt.Fprintln(os.Stderr, "quorumbench: -resume and -standby are exclusive: a standby resumes by itself when the primary's lease goes stale")
+			return 2
+		}
+		if *jpath != "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -resume continues the journal it loads; -journal only starts a new run — drop one of them")
+			return 2
+		}
+		if *fleetArg == "" && *fleetReg == "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -resume needs workers to dispatch the remaining shards to; add -fleet <addr,...> or -fleet-registry <addr>")
+			return 2
+		}
+		if *shard >= 0 || *mergeArg != "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -resume re-runs a whole fleet run; it cannot combine with -shard or -merge")
+			return 2
+		}
+	}
+	if *jpath != "" && !*standby {
+		if *fleetArg == "" && *fleetReg == "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -journal records a fleet run; add -fleet <addr,...> or -fleet-registry <addr> (or -standby to tail an existing journal)")
+			return 2
+		}
+		if *shards <= 0 {
+			fmt.Fprintln(os.Stderr, "quorumbench: -journal needs an explicit -shards count so a -resume knows the partition")
+			return 2
+		}
+	}
+	if *standby {
+		if *jpath == "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -standby tails a run journal; name it with -journal <file>")
+			return 2
+		}
+		if *fleetArg == "" && *fleetReg == "" {
+			fmt.Fprintln(os.Stderr, "quorumbench: -standby needs takeover workers; add -fleet <addr,...> or -fleet-registry <addr>")
+			return 2
+		}
+	}
+
 	if *worker {
-		return runFleetWorker(*addr, *join, *advertise)
+		return runFleetWorker(*addr, *join, *advertise, *slots, *cores)
 	}
 
 	if *cpuprof != "" {
@@ -150,20 +223,10 @@ func run() int {
 		Reproducible: *repro,
 	}
 
-	// Sharded, fleet, and merge modes operate on one spec's point-space.
-	if *shards > 0 || *shard >= 0 || *mergeArg != "" || *fleetArg != "" || *fleetReg != "" {
-		if *fleetArg != "" && *fleetReg != "" {
-			fmt.Fprintln(os.Stderr, "quorumbench: -fleet and -fleet-registry are exclusive")
-			return 2
-		}
-		spec, cfg, code := resolveSpec(*fig, *scen, params)
-		if code != 0 {
-			return code
-		}
-		if *progress {
-			cfg.Progress = logProgress
-		}
-		return runSharded(spec, cfg, shardedOptions{
+	// Sharded, fleet, merge, resume, and standby modes operate on one
+	// spec's point-space.
+	if *shards > 0 || *shard >= 0 || *mergeArg != "" || *fleetArg != "" || *fleetReg != "" || *resumeArg != "" || *standby {
+		opts := shardedOptions{
 			shards:     *shards,
 			shard:      *shard,
 			mergeArg:   *mergeArg,
@@ -172,7 +235,23 @@ func run() int {
 			minWorkers: *minWork,
 			format:     outFormat,
 			progress:   *progress,
-		})
+			journal:    *jpath,
+			leaseTTL:   *leaseTTL,
+		}
+		if *standby {
+			return runStandby(opts)
+		}
+		if *resumeArg != "" {
+			return runResume(*fig, *scen, params, *resumeArg, opts)
+		}
+		spec, cfg, code := resolveSpec(*fig, *scen, params)
+		if code != 0 {
+			return code
+		}
+		if *progress {
+			cfg.Progress = logProgress
+		}
+		return runSharded(spec, cfg, opts)
 	}
 
 	if *scen != "" {
@@ -269,6 +348,130 @@ type shardedOptions struct {
 	minWorkers int
 	format     string
 	progress   bool
+	journal    string
+	leaseTTL   time.Duration
+}
+
+// fleetConfig builds the coordinator Config for the selected fleet mode
+// — a static worker list, or an elastic registry whose HTTP server it
+// starts (the returned cleanup stops it).
+func fleetConfig(opts shardedOptions) (fleet.Config, func(), int) {
+	logf := fleetLogf(opts.progress)
+	if opts.registry != "" {
+		reg := fleet.NewRegistry(fleet.RegistryOptions{Logf: logf})
+		srv := &http.Server{Handler: reg.Handler()}
+		ln, err := net.Listen("tcp", opts.registry)
+		if err != nil {
+			return fleet.Config{}, nil, fail(err)
+		}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "quorumbench: fleet registry listening on %s\n", ln.Addr())
+		return fleet.Config{
+			Registry:   reg,
+			MinWorkers: opts.minWorkers,
+			Shards:     opts.shards,
+			Logf:       logf,
+		}, func() { srv.Close() }, 0
+	}
+	return fleet.Config{
+		Workers: strings.Split(opts.fleetArg, ","),
+		Shards:  opts.shards,
+		Logf:    logf,
+	}, func() {}, 0
+}
+
+// runResume continues a crashed fleet run from its journal: load the
+// recorded state, cross-check the spec hash when -fig/-scenario is also
+// given, reopen the journal at the next epoch, and dispatch only the
+// shards without a recorded result. The merged output is byte-identical
+// to the run the dead coordinator would have produced.
+func runResume(fig, scen string, params experiments.Params, path string, opts shardedOptions) int {
+	start := time.Now()
+	st, err := runjournal.Load(path)
+	if err != nil {
+		return fail(err)
+	}
+	if fig != "" || scen != "" {
+		spec, _, code := resolveSpec(fig, scen, params)
+		if code != 0 {
+			return code
+		}
+		h, err := spec.Hash()
+		if err != nil {
+			return fail(err)
+		}
+		if h != st.SpecHash {
+			return fail(fmt.Errorf("journal %s records spec %q (hash %.12s…) but the requested spec hashes %.12s…; resume without -fig/-scenario to use the journal's spec",
+				path, st.Spec.Name, st.SpecHash, h))
+		}
+	}
+	if st.Torn {
+		fmt.Fprintf(os.Stderr, "quorumbench: journal %s ends mid-record (crash during an append); discarding the torn line\n", path)
+	}
+	fmt.Fprintf(os.Stderr, "quorumbench: resuming %q from %s: %d/%d shards recorded under %s, continuing at epoch %d\n",
+		st.Spec.Name, path, len(st.Completed), st.Shards, st.LeaseOwner, st.Epoch+1)
+	jr, err := runjournal.Continue(path, st, runjournal.Options{Owner: "resume"})
+	if err != nil {
+		return fail(err)
+	}
+	defer jr.Close()
+
+	opts.shards = st.Shards
+	fcfg, cleanup, code := fleetConfig(opts)
+	if code != 0 {
+		return code
+	}
+	defer cleanup()
+	fcfg.Journal = jr
+	coord, err := fleet.New(fcfg)
+	if err != nil {
+		return fail(err)
+	}
+	cfg := st.Config.RunConfig()
+	if opts.progress {
+		cfg.Progress = logProgress
+	}
+	tb, err := coord.Resume(st.Spec, cfg, st.Completed)
+	if err != nil {
+		return fail(err)
+	}
+	return emit(tb, opts.format, st.Spec.Name, start, "\n")
+}
+
+// runStandby tails a run journal until the primary coordinator's lease
+// goes stale, then takes the run over on this process's workers. If the
+// primary merges the run itself, the standby exits 0 without output.
+func runStandby(opts shardedOptions) int {
+	start := time.Now()
+	fcfg, cleanup, code := fleetConfig(opts)
+	if code != 0 {
+		return code
+	}
+	defer cleanup()
+	fcfg.Logf = func(f string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, f+"\n", args...)
+	}
+	sb, err := fleet.NewStandby(fleet.StandbyOptions{
+		Journal:     opts.journal,
+		LeaseTTL:    opts.leaseTTL,
+		Coordinator: fcfg,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "quorumbench: standby tailing %s (takeover after %s without journal activity)\n", opts.journal, opts.leaseTTL)
+	tb, err := sb.Run(context.Background())
+	if err != nil {
+		return fail(err)
+	}
+	if tb == nil {
+		return 0 // the primary finished on its own
+	}
+	name := "run"
+	if st, err := runjournal.Load(opts.journal); err == nil && st.Spec != nil {
+		name = st.Spec.Name
+	}
+	return emit(tb, opts.format, name, start, "\n")
 }
 
 // fleetLogf returns the coordinator/registry log sink: stderr under
@@ -286,7 +489,7 @@ func fleetLogf(progress bool) func(string, ...interface{}) {
 func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, opts shardedOptions) int {
 	start := time.Now()
 	shards, shard := opts.shards, opts.shard
-	mergeArg, fleetArg, format, progress := opts.mergeArg, opts.fleetArg, opts.format, opts.progress
+	mergeArg, fleetArg, format := opts.mergeArg, opts.fleetArg, opts.format
 	switch {
 	case mergeArg != "":
 		var partials []*scenario.Partial
@@ -307,39 +510,25 @@ func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, opts shardedOptions
 		}
 		return emit(tb, format, spec.Name, start, "\n")
 
-	case opts.registry != "":
-		// Elastic fleet: serve the registry, wait for -min-workers
-		// self-registrations, dispatch over whoever is live.
-		reg := fleet.NewRegistry(fleet.RegistryOptions{Logf: fleetLogf(progress)})
-		srv := &http.Server{Addr: opts.registry, Handler: reg.Handler()}
-		ln, err := net.Listen("tcp", opts.registry)
-		if err != nil {
-			return fail(err)
+	case opts.registry != "" || fleetArg != "":
+		// Fleet run: static worker list, or an elastic registry waiting
+		// for -min-workers self-registrations. With -journal every
+		// dispatch and completed shard is made durable for -resume.
+		fcfg, cleanup, code := fleetConfig(opts)
+		if code != 0 {
+			return code
 		}
-		go srv.Serve(ln)
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "quorumbench: fleet registry listening on %s\n", ln.Addr())
-		coord, err := fleet.New(fleet.Config{
-			Registry:   reg,
-			MinWorkers: opts.minWorkers,
-			Shards:     shards,
-			Logf:       fleetLogf(progress),
-		})
-		if err != nil {
-			return fail(err)
+		defer cleanup()
+		if opts.journal != "" {
+			jr, err := runjournal.Create(opts.journal, spec, cfg.Settings(), shards, runjournal.Options{})
+			if err != nil {
+				return fail(err)
+			}
+			defer jr.Close()
+			fcfg.Journal = jr
+			fmt.Fprintf(os.Stderr, "quorumbench: journaling run to %s\n", opts.journal)
 		}
-		tb, err := coord.Run(spec, cfg)
-		if err != nil {
-			return fail(err)
-		}
-		return emit(tb, format, spec.Name, start, "\n")
-
-	case fleetArg != "":
-		coord, err := fleet.New(fleet.Config{
-			Workers: strings.Split(fleetArg, ","),
-			Shards:  shards,
-			Logf:    fleetLogf(progress),
-		})
+		coord, err := fleet.New(fcfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -402,7 +591,7 @@ func runSharded(spec *scenario.Spec, cfg scenario.RunConfig, opts shardedOptions
 // -join it also keeps a registration lease with an elastic fleet
 // registry, heartbeating so coordinators dispatch to it — and re-assign
 // its shards the moment it stops answering.
-func runFleetWorker(addr, join, advertise string) int {
+func runFleetWorker(addr, join, advertise string, slots, cores int) int {
 	logf := func(f string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, f+"\n", args...)
 	}
@@ -414,12 +603,12 @@ func runFleetWorker(addr, join, advertise string) int {
 				advertise = "127.0.0.1" + advertise
 			}
 		}
-		lease, err := fleet.Join(join, advertise, fleet.LeaseOptions{Logf: logf})
+		lease, err := fleet.Join(join, advertise, fleet.LeaseOptions{Logf: logf, Slots: slots, Cores: cores})
 		if err != nil {
 			return fail(err)
 		}
 		defer lease.Stop()
-		fmt.Fprintf(os.Stderr, "quorumbench: fleet worker joining %s as %s\n", join, advertise)
+		fmt.Fprintf(os.Stderr, "quorumbench: fleet worker joining %s as %s (%d slots)\n", join, advertise, slots)
 	}
 	fmt.Fprintf(os.Stderr, "quorumbench: fleet worker listening on %s\n", addr)
 	return fail(http.ListenAndServe(addr, w.Handler()))

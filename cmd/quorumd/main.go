@@ -20,6 +20,11 @@
 // average response time: placement moves are taken only when they are
 // predicted to win at least that much; strategy-only re-plans are
 // always taken. 0 disables hysteresis.
+//
+// -journal makes the deployment durable: every applied delta batch is
+// fsynced to the journal, and a daemon restarted with the same flags
+// and -journal path replays it to the exact pre-crash version/ETag
+// history before serving.
 package main
 
 import (
@@ -51,6 +56,7 @@ func main() {
 		history  = flag.Int("history", 64, "re-plan history entries retained")
 		maxWait  = flag.Duration("max-wait", 30*time.Second, "long-poll timeout cap")
 		workers  = flag.Int("workers", 0, "placement search workers (0 = GOMAXPROCS)")
+		jpath    = flag.String("journal", "", "durable delta journal: applied batches are logged here and replayed on restart (restart with the same flags)")
 	)
 	flag.Parse()
 
@@ -68,13 +74,27 @@ func main() {
 		Strategy:  plan.StrategyKind(*strat),
 		Demand:    *demand,
 		Workers:   *workers,
+		// Journal replay reproduces history by re-running the planner, so
+		// a journaled daemon must plan reproducibly (cold LP solves).
+		Reproducible: *jpath != "",
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	start := time.Now()
-	m, err := deploy.New(p, deploy.Config{MoveCost: *moveCost, HistoryLimit: *history})
+	dcfg := deploy.Config{MoveCost: *moveCost, HistoryLimit: *history}
+	var m *deploy.Manager
+	if *jpath != "" {
+		var replayed int
+		m, replayed, err = deploy.Recover(p, dcfg, *jpath)
+		if err == nil && replayed > 0 {
+			log.Printf("quorumd: replayed %d journaled delta batches from %s to version %d",
+				replayed, *jpath, m.Current().Snapshot.Version)
+		}
+	} else {
+		m, err = deploy.New(p, dcfg)
+	}
 	if err != nil {
 		fatal(err)
 	}

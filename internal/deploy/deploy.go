@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/quorumnet/quorumnet/internal/journal"
 	"github.com/quorumnet/quorumnet/internal/plan"
 )
 
@@ -201,6 +202,7 @@ type Manager struct {
 	p        *plan.Planner
 	applied  int
 	deltaLog []Delta
+	journal  *journal.Writer // optional durable batch log (see Recover)
 
 	cur atomic.Pointer[Entry]
 
@@ -331,14 +333,42 @@ func (m *Manager) Apply(deltas []Delta) (*Entry, error) {
 	// so the planner's effective-mutation count — not its dirty flags —
 	// is the signal.
 	if m.p.PendingDeltas() == before {
-		return m.Current(), nil
+		cur := m.Current()
+		if jerr := m.journalBatch(journalRecord{
+			Deltas:  batch,
+			Version: cur.Snapshot.Version,
+			Applied: m.applied,
+		}); jerr != nil {
+			return cur, jerr
+		}
+		return cur, nil
 	}
 	entry, err := m.replan()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s", ErrReplan, err)
+		err = fmt.Errorf("%w: %s", ErrReplan, err)
+		// A failed re-plan still mutated the deployment; the journal must
+		// carry the batch or replay would skip it and diverge.
+		if jerr := m.journalBatch(journalRecord{
+			Deltas:  batch,
+			Version: m.Current().Snapshot.Version,
+			Error:   err.Error(),
+			Applied: m.applied,
+		}); jerr != nil {
+			return nil, jerr
+		}
+		return nil, err
 	}
 	entry.Applied = m.applied
 	m.publish(entry)
+	if jerr := m.journalBatch(journalRecord{
+		Deltas:    batch,
+		Version:   entry.Snapshot.Version,
+		Published: true,
+		Decision:  entry.Decision,
+		Applied:   m.applied,
+	}); jerr != nil {
+		return entry, jerr
+	}
 	return entry, nil
 }
 

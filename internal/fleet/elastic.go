@@ -16,6 +16,11 @@ type elasticTask struct {
 	// excluded lists worker ids that already failed or died holding this
 	// shard, so a retry never bounces straight back.
 	excluded map[string]bool
+	// lastErr and lastID describe the most recent failed attempt (worker
+	// and shard-attempt id included), so an attempts-exhausted abort
+	// names the exact dispatch that sank the run.
+	lastErr string
+	lastID  string
 	// notBefore gates dispatch while a backoff is pending; backedOff
 	// marks that the exclusions should be cleared when it expires (with
 	// one live worker, keeping them would starve the shard forever).
@@ -53,15 +58,19 @@ func copyExcluded(m map[string]bool) map[string]bool {
 	return out
 }
 
-// pickWorker chooses the least-loaded live worker outside the exclusion
-// set (ties broken by registration order).
+// pickWorker chooses the live worker outside the exclusion set with the
+// lowest load-to-slots ratio, so advertised capacity weights dispatch —
+// a 4-slot worker draws four shards for every one a 1-slot worker gets
+// — and a recovery onto a heterogeneous surviving fleet doesn't pile
+// shards onto its smallest member. Ties break by registration order.
+// The ratios compare by cross-multiplication to stay in integers.
 func pickWorker(live []WorkerRef, excluded map[string]bool, load map[string]int) (WorkerRef, bool) {
 	best := -1
 	for i, w := range live {
 		if excluded[w.ID] {
 			continue
 		}
-		if best < 0 || load[w.ID] < load[live[best].ID] {
+		if best < 0 || load[w.ID]*live[best].slots() < load[live[best].ID]*w.slots() {
 			best = i
 		}
 	}
@@ -78,19 +87,34 @@ func pickWorker(live []WorkerRef, excluded map[string]bool, load map[string]int)
 // re-dispatch never bounces straight back, backoff when every live
 // worker already failed a shard, and discard of late duplicate results
 // by shard-attempt id.
-func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*scenario.Table, error) {
+func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig, recovered map[int]*scenario.Partial) (*scenario.Table, error) {
 	reg := c.cfg.Registry
 	space, err := scenario.NewSpace(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	// Wait for the starting quorum of workers; more may join later.
+	shards := c.cfg.Shards
+	// remaining counts shards that still need a worker (a resume skips
+	// recovered ones); -1 while the shard count awaits the roster.
+	remaining := -1
+	if shards > 0 {
+		remaining = shards
+		for j := 0; j < shards; j++ {
+			if recovered[j] != nil {
+				remaining--
+			}
+		}
+	}
+
+	// Wait for the starting quorum of workers; more may join later. A
+	// resume with nothing left to dispatch skips the wait — merging
+	// recovered partials needs no fleet.
 	minWorkers := c.cfg.MinWorkers
 	if minWorkers <= 0 {
 		minWorkers = 1
 	}
-	for {
+	for remaining != 0 {
 		ch := reg.Changed()
 		live := reg.Live()
 		if len(live) >= minWorkers {
@@ -104,26 +128,31 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 		}
 	}
 
-	shards := c.cfg.Shards
 	if shards <= 0 {
 		shards = len(reg.Live())
 		if shards == 0 {
 			shards = 1
 		}
 	}
+	epoch := c.epoch()
 	maxAttempts := c.cfg.attempts()
 	start := time.Now()
-	c.logf("fleet: %s: %d points across %d shards (elastic, %d workers live)",
-		spec.Name, space.NumPoints(), shards, len(reg.Live()))
+	c.logf("fleet: %s: %d points across %d shards (elastic, epoch %d, %d workers live, %d recovered)",
+		spec.Name, space.NumPoints(), shards, epoch, len(reg.Live()), len(recovered))
 
-	pending := make([]*elasticTask, shards)
-	for j := range pending {
-		pending[j] = &elasticTask{shard: j, excluded: map[string]bool{}}
-	}
+	var pending []*elasticTask
 	inflight := map[string]*elasticAttempt{}
 	perWorker := map[string]int{}
 	done := make([]*scenario.Partial, shards)
 	completed := 0
+	for j := 0; j < shards; j++ {
+		if p := recovered[j]; p != nil {
+			done[j] = p
+			completed++
+			continue
+		}
+		pending = append(pending, &elasticTask{shard: j, excluded: map[string]bool{}})
+	}
 	redispatches := 0
 	known := map[string]bool{}
 	// Every spawned attempt reports exactly one outcome; the buffer holds
@@ -138,8 +167,9 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 	}
 
 	// takeOutcome retires one attempt and classifies its outcome. Returns
-	// the task to re-enqueue, if any.
-	takeOutcome := func(out attemptOutcome) *elasticTask {
+	// the task to re-enqueue, if any, and a journaling failure, which
+	// aborts the run.
+	takeOutcome := func(out attemptOutcome) (*elasticTask, error) {
 		att := inflight[out.key]
 		delete(inflight, out.key)
 		att.cancel()
@@ -149,28 +179,39 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 			// First valid result for the shard wins — even from a
 			// superseded attempt whose worker was merely partitioned from
 			// the registry.
+			if c.cfg.Journal != nil {
+				if jerr := c.cfg.Journal.Complete(att.shard, att.key, att.worker.ID, out.partial); jerr != nil {
+					return nil, fmt.Errorf("fleet: %s: journaling completion %s: %w", spec.Name, att.key, jerr)
+				}
+			}
 			done[att.shard] = out.partial
 			completed++
-			c.event(Event{Kind: EventShardDone, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID})
-			c.logf("fleet: %s: shard %d/%d done (attempt %d on %s, %d/%d, %d rows, %.1fs)",
-				spec.Name, att.shard, shards, att.attempt, att.worker.ID,
+			c.event(Event{Kind: EventShardDone, Shard: att.shard, Attempt: att.attempt, AttemptID: att.key, Worker: att.worker.ID})
+			c.logf("fleet: %s: shard %d/%d done (attempt %s on %s, %d/%d, %d rows, %.1fs)",
+				spec.Name, att.shard, shards, att.key, att.worker.ID,
 				completed, shards, len(out.partial.Table.Rows), time.Since(start).Seconds())
 		case out.err == nil:
-			c.event(Event{Kind: EventLateDiscard, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID})
-			c.logf("fleet: %s: shard %d/%d: discarding late duplicate result (attempt %d on %s)",
-				spec.Name, att.shard, shards, att.attempt, att.worker.ID)
+			c.event(Event{Kind: EventLateDiscard, Shard: att.shard, Attempt: att.attempt, AttemptID: att.key, Worker: att.worker.ID})
+			c.logf("fleet: %s: shard %d/%d: discarding late duplicate result (attempt %s on %s)",
+				spec.Name, att.shard, shards, att.key, att.worker.ID)
 		case att.superseded || done[att.shard] != nil:
-			c.event(Event{Kind: EventAbandon, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID, Detail: out.err.Error()})
+			c.event(Event{Kind: EventAbandon, Shard: att.shard, Attempt: att.attempt, AttemptID: att.key, Worker: att.worker.ID, Detail: out.err.Error()})
 		default:
 			excluded := copyExcluded(att.excluded)
 			excluded[att.worker.ID] = true
 			redispatches++
-			c.event(Event{Kind: EventRedispatch, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID, Detail: out.err.Error()})
-			c.logf("fleet: %s: shard %d/%d attempt %d on %s failed: %v",
-				spec.Name, att.shard, shards, att.attempt, att.worker.ID, out.err)
-			return &elasticTask{shard: att.shard, attempts: att.attempt, excluded: excluded}
+			c.event(Event{Kind: EventRedispatch, Shard: att.shard, Attempt: att.attempt, AttemptID: att.key, Worker: att.worker.ID, Detail: out.err.Error()})
+			c.logf("fleet: %s: shard %d/%d attempt %s on %s failed: %v",
+				spec.Name, att.shard, shards, att.key, att.worker.ID, out.err)
+			return &elasticTask{
+				shard:    att.shard,
+				attempts: att.attempt,
+				excluded: excluded,
+				lastErr:  out.err.Error(),
+				lastID:   fmt.Sprintf("%s on %s", att.key, att.worker.ID),
+			}, nil
 		}
-		return nil
+		return nil, nil
 	}
 
 	for completed < shards {
@@ -200,10 +241,16 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 			redispatches++
 			excluded := copyExcluded(att.excluded)
 			excluded[att.worker.ID] = true
-			pending = append(pending, &elasticTask{shard: att.shard, attempts: att.attempt, excluded: excluded})
-			c.event(Event{Kind: EventWorkerDead, Shard: att.shard, Attempt: att.attempt, Worker: att.worker.ID, Detail: "missed heartbeats"})
-			c.logf("fleet: %s: worker %s died holding shard %d/%d (attempt %d); re-dispatching now",
-				spec.Name, att.worker.ID, att.shard, shards, att.attempt)
+			pending = append(pending, &elasticTask{
+				shard:    att.shard,
+				attempts: att.attempt,
+				excluded: excluded,
+				lastErr:  "worker died (missed heartbeats)",
+				lastID:   fmt.Sprintf("%s on %s", att.key, att.worker.ID),
+			})
+			c.event(Event{Kind: EventWorkerDead, Shard: att.shard, Attempt: att.attempt, AttemptID: att.key, Worker: att.worker.ID, Detail: "missed heartbeats"})
+			c.logf("fleet: %s: worker %s died holding shard %d/%d (attempt %s); re-dispatching now",
+				spec.Name, att.worker.ID, att.shard, shards, att.key)
 		}
 
 		// Dispatch every ready task that has an eligible worker.
@@ -215,8 +262,12 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 				continue // completed by a superseded attempt meanwhile
 			}
 			if t.attempts >= maxAttempts {
-				return abort(fmt.Errorf("fleet: %s: shard %d/%d failed after %d attempts",
-					spec.Name, t.shard, shards, t.attempts))
+				detail := ""
+				if t.lastErr != "" {
+					detail = fmt.Sprintf(" (last: %s: %s)", t.lastID, t.lastErr)
+				}
+				return abort(fmt.Errorf("fleet: %s: shard %d/%d failed after %d attempts%s",
+					spec.Name, t.shard, shards, t.attempts, detail))
 			}
 			if now.Before(t.notBefore) {
 				if nextWake.IsZero() || t.notBefore.Before(nextWake) {
@@ -244,7 +295,7 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 					nextWake = t.notBefore
 				}
 				still = append(still, t)
-				c.event(Event{Kind: EventBackoff, Shard: t.shard, Attempt: t.attempts + 1, Detail: c.cfg.retryBackoff().String()})
+				c.event(Event{Kind: EventBackoff, Shard: t.shard, Attempt: t.attempts + 1, AttemptID: attemptID(epoch, t.shard, t.attempts+1), Detail: c.cfg.retryBackoff().String()})
 				c.logf("fleet: %s: shard %d/%d: all %d live workers excluded; backing off %s",
 					spec.Name, t.shard, shards, len(live), c.cfg.retryBackoff())
 				continue
@@ -252,7 +303,7 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 			attempt := t.attempts + 1
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shardTimeout())
 			att := &elasticAttempt{
-				key:      fmt.Sprintf("s%d-a%d", t.shard, attempt),
+				key:      attemptID(epoch, t.shard, attempt),
 				shard:    t.shard,
 				attempt:  attempt,
 				worker:   w,
@@ -261,9 +312,14 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 			}
 			inflight[att.key] = att
 			perWorker[w.ID]++
-			c.event(Event{Kind: EventDispatch, Shard: t.shard, Attempt: attempt, Worker: w.ID})
-			c.logf("fleet: %s: shard %d/%d attempt %d -> %s (%s)",
-				spec.Name, t.shard, shards, attempt, w.ID, w.Addr)
+			c.event(Event{Kind: EventDispatch, Shard: t.shard, Attempt: attempt, AttemptID: att.key, Worker: w.ID})
+			if c.cfg.Journal != nil {
+				if jerr := c.cfg.Journal.Dispatch(t.shard, att.key, w.ID); jerr != nil {
+					return abort(fmt.Errorf("fleet: %s: journaling dispatch %s: %w", spec.Name, att.key, jerr))
+				}
+			}
+			c.logf("fleet: %s: shard %d/%d attempt %s -> %s (%s)",
+				spec.Name, t.shard, shards, att.key, w.ID, w.Addr)
 			go func(att *elasticAttempt, addr string) {
 				partial, err := c.attemptShard(ctx, addr, spec, cfg, att.shard, shards)
 				results <- attemptOutcome{key: att.key, partial: partial, err: err}
@@ -289,7 +345,11 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 		select {
 		case out := <-results:
 			timer.Stop()
-			if t := takeOutcome(out); t != nil {
+			t, err := takeOutcome(out)
+			if err != nil {
+				return abort(err)
+			}
+			if t != nil {
 				pending = append(pending, t)
 			}
 		case <-ch:
@@ -308,7 +368,9 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 		for len(inflight) > 0 && draining {
 			select {
 			case out := <-results:
-				takeOutcome(out)
+				if _, err := takeOutcome(out); err != nil {
+					return abort(err)
+				}
 			case <-grace.C:
 				draining = false
 			}
@@ -318,12 +380,23 @@ func (c *Coordinator) runElastic(spec *scenario.Spec, cfg scenario.RunConfig) (*
 			att.cancel()
 		}
 		for len(inflight) > 0 {
-			takeOutcome(<-results)
+			if _, err := takeOutcome(<-results); err != nil {
+				return abort(err)
+			}
 		}
 	}
 
 	live, dead := reg.Counts()
 	c.logf("fleet: %s: run complete: %d shards, %d re-dispatches, workers live=%d dead=%d (%.1fs)",
 		spec.Name, shards, redispatches, live, dead, time.Since(start).Seconds())
-	return space.Merge(done)
+	table, err := space.Merge(done)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Journal != nil {
+		if jerr := c.cfg.Journal.Merged(len(table.Rows)); jerr != nil {
+			return nil, fmt.Errorf("fleet: %s: recording merge: %w", spec.Name, jerr)
+		}
+	}
+	return table, nil
 }

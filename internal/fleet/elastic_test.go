@@ -106,7 +106,7 @@ func (h *elasticHarness) addWorker() WorkerRef {
 	h.t.Helper()
 	srv := httptest.NewServer(NewWorker(WorkerOptions{MaxWait: 100 * time.Millisecond, Logf: h.t.Logf}).Handler())
 	h.t.Cleanup(srv.Close)
-	return h.reg.Register(srv.URL)
+	return h.reg.Register(srv.URL, 1, 0)
 }
 
 // addProxiedWorker starts a worker behind a fault-injection proxy and
@@ -121,7 +121,7 @@ func (h *elasticHarness) addProxiedWorker() (WorkerRef, *faultinject.Proxy) {
 	}
 	front := httptest.NewServer(proxy.Handler())
 	h.t.Cleanup(front.Close)
-	return h.reg.Register(front.URL), proxy
+	return h.reg.Register(front.URL, 1, 0), proxy
 }
 
 // kill expires the named worker: the clock advances two heartbeat

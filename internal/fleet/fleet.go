@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	runjournal "github.com/quorumnet/quorumnet/internal/fleet/journal"
 	"github.com/quorumnet/quorumnet/internal/scenario"
 )
 
@@ -56,6 +57,16 @@ type Config struct {
 	// still heartbeating — charges one attempt when it expires; a worker
 	// that stops heartbeating is handled far sooner by re-dispatch.
 	ShardTimeout time.Duration
+	// Journal, when set, records every dispatch/complete/merge transition
+	// of the run (see internal/fleet/journal): a crashed coordinator's
+	// run resumes from the journal alone, and attempt ids carry the
+	// journal's epoch so takeover generations are distinguishable. A
+	// journal write failure aborts the run — an unjournaled run that
+	// claims to be journaled is worse than a loud failure.
+	Journal *runjournal.Run
+	// LeaseInterval is the cadence of journal lease renewals during
+	// quiet stretches (0 = 1s). Irrelevant without Journal.
+	LeaseInterval time.Duration
 	// Client overrides the HTTP client (nil = a default without global
 	// timeout; per-request contexts bound every call).
 	Client *http.Client
@@ -76,6 +87,10 @@ type Event struct {
 	// Attempt is the 1-based attempt number — for backoff events, the
 	// attempt the backoff delays (0 when not attempt-scoped).
 	Attempt int
+	// AttemptID is the shard-attempt id ("e<epoch>-s<shard>-a<attempt>")
+	// — the same id recorded in the run journal, so a -progress stream
+	// greps against journal records and across takeover epochs.
+	AttemptID string
 	// Worker is the worker id (elastic) or address (static); empty for
 	// events not tied to one worker (an elastic backoff excludes them
 	// all).
@@ -205,8 +220,72 @@ func (c *Coordinator) event(ev Event) {
 // unsharded scenario.Run of the same spec and config, whatever order
 // the shards complete in and whichever workers end up executing them.
 func (c *Coordinator) Run(spec *scenario.Spec, cfg scenario.RunConfig) (*scenario.Table, error) {
+	return c.run(spec, cfg, nil)
+}
+
+// Resume runs only the shards missing from completed — the partials a
+// run journal recorded before the previous coordinator died — and
+// merges recorded and fresh partials together. Because every shard is
+// deterministic under the journaled settings, the merged table is
+// byte-identical to an uninterrupted run, and Merge's exact point-cover
+// check turns any duplicated or dropped shard into a hard error rather
+// than silent row duplication.
+func (c *Coordinator) Resume(spec *scenario.Spec, cfg scenario.RunConfig, completed map[int]*scenario.Partial) (*scenario.Table, error) {
+	return c.run(spec, cfg, completed)
+}
+
+// epoch is the coordinator generation stamped into attempt ids: the
+// journal's epoch when journaling, 1 otherwise.
+func (c *Coordinator) epoch() int {
+	if c.cfg.Journal != nil {
+		return c.cfg.Journal.Epoch()
+	}
+	return 1
+}
+
+func attemptID(epoch, shard, attempt int) string {
+	return fmt.Sprintf("e%d-s%d-a%d", epoch, shard, attempt)
+}
+
+// startLeaseTicker renews the journal lease during quiet stretches (a
+// long shard with no completes must not look like a dead coordinator to
+// a standby). Returns a stop function; no-op without a journal.
+func (c *Coordinator) startLeaseTicker() func() {
+	if c.cfg.Journal == nil {
+		return func() {}
+	}
+	interval := c.cfg.LeaseInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if err := c.cfg.Journal.RenewLease(interval); err != nil {
+					c.logf("fleet: journal lease renewal failed: %v", err)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
+func (c *Coordinator) run(spec *scenario.Spec, cfg scenario.RunConfig, completed map[int]*scenario.Partial) (*scenario.Table, error) {
+	stopLease := c.startLeaseTicker()
+	defer stopLease()
 	if c.cfg.Registry != nil {
-		return c.runElastic(spec, cfg)
+		return c.runElastic(spec, cfg, completed)
 	}
 	space, err := scenario.NewSpace(spec, cfg)
 	if err != nil {
@@ -216,24 +295,28 @@ func (c *Coordinator) Run(spec *scenario.Spec, cfg scenario.RunConfig) (*scenari
 	if shards <= 0 {
 		shards = len(c.addrs)
 	}
-	c.logf("fleet: %s: %d points across %d shards on %d workers",
-		spec.Name, space.NumPoints(), shards, len(c.addrs))
+	c.logf("fleet: %s: %d points across %d shards on %d workers (%d recovered)",
+		spec.Name, space.NumPoints(), shards, len(c.addrs), len(completed))
 
 	start := time.Now()
 	partials := make([]*scenario.Partial, shards)
 	errs := make([]error, shards)
 	var done sync.WaitGroup
-	var completed int32
+	var completedN int32
 	var mu sync.Mutex
 	for j := 0; j < shards; j++ {
+		if p := completed[j]; p != nil {
+			partials[j] = p
+			continue
+		}
 		done.Add(1)
 		go func(j int) {
 			defer done.Done()
 			partials[j], errs[j] = c.runShard(spec, cfg, j, shards)
 			if errs[j] == nil {
 				mu.Lock()
-				completed++
-				n := completed
+				completedN++
+				n := completedN
 				mu.Unlock()
 				c.logf("fleet: %s: shard %d/%d done (%d/%d, %d rows, %.1fs)",
 					spec.Name, j, shards, n, shards, len(partials[j].Table.Rows), time.Since(start).Seconds())
@@ -246,7 +329,16 @@ func (c *Coordinator) Run(spec *scenario.Spec, cfg scenario.RunConfig) (*scenari
 			return nil, fmt.Errorf("fleet: %s: shard %d/%d: %w", spec.Name, j, shards, err)
 		}
 	}
-	return space.Merge(partials)
+	table, err := space.Merge(partials)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Journal != nil {
+		if jerr := c.cfg.Journal.Merged(len(table.Rows)); jerr != nil {
+			return nil, fmt.Errorf("fleet: %s: recording merge: %w", spec.Name, jerr)
+		}
+	}
+	return table, nil
 }
 
 // runShard tries one shard on successive workers until one returns a
@@ -259,24 +351,35 @@ func (c *Coordinator) runShard(spec *scenario.Spec, cfg scenario.RunConfig, shar
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		addr := c.addrs[(shard+a)%len(c.addrs)]
+		id := attemptID(c.epoch(), shard, a+1)
 		if tried[addr] {
-			c.event(Event{Kind: EventBackoff, Shard: shard, Attempt: a + 1, Worker: addr, Detail: c.cfg.retryBackoff().String()})
+			c.event(Event{Kind: EventBackoff, Shard: shard, Attempt: a + 1, AttemptID: id, Worker: addr, Detail: c.cfg.retryBackoff().String()})
 			c.logf("fleet: %s: shard %d/%d: retrying %s after %s backoff",
 				spec.Name, shard, shards, addr, c.cfg.retryBackoff())
 			time.Sleep(c.cfg.retryBackoff())
 		}
 		tried[addr] = true
-		c.event(Event{Kind: EventDispatch, Shard: shard, Attempt: a + 1, Worker: addr})
+		c.event(Event{Kind: EventDispatch, Shard: shard, Attempt: a + 1, AttemptID: id, Worker: addr})
+		if c.cfg.Journal != nil {
+			if err := c.cfg.Journal.Dispatch(shard, id, addr); err != nil {
+				return nil, fmt.Errorf("journaling dispatch %s: %w", id, err)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.shardTimeout())
 		partial, err := c.attemptShard(ctx, addr, spec, cfg, shard, shards)
 		cancel()
 		if err == nil {
+			if c.cfg.Journal != nil {
+				if jerr := c.cfg.Journal.Complete(shard, id, addr, partial); jerr != nil {
+					return nil, fmt.Errorf("journaling completion %s: %w", id, jerr)
+				}
+			}
 			return partial, nil
 		}
-		lastErr = fmt.Errorf("worker %s: %w", addr, err)
-		c.event(Event{Kind: EventRedispatch, Shard: shard, Attempt: a + 1, Worker: addr, Detail: err.Error()})
-		c.logf("fleet: %s: shard %d/%d attempt %d on %s failed: %v",
-			spec.Name, shard, shards, a+1, addr, err)
+		lastErr = fmt.Errorf("worker %s (attempt %s): %w", addr, id, err)
+		c.event(Event{Kind: EventRedispatch, Shard: shard, Attempt: a + 1, AttemptID: id, Worker: addr, Detail: err.Error()})
+		c.logf("fleet: %s: shard %d/%d attempt %s on %s failed: %v",
+			spec.Name, shard, shards, id, addr, err)
 	}
 	return nil, fmt.Errorf("all %d attempts failed, last: %w", attempts, lastErr)
 }

@@ -17,6 +17,11 @@ type LeaseOptions struct {
 	// (default 500ms) — the registry may simply not be up yet, so a
 	// worker can start before its coordinator.
 	RetryDelay time.Duration
+	// Slots advertises the worker's concurrent-shard capacity with every
+	// (re-)registration (<= 0 means 1). Dispatch weights load by it.
+	Slots int
+	// Cores advertises the worker's CPU count (informational).
+	Cores int
 	// Client overrides the HTTP client.
 	Client *http.Client
 	// Logf, when set, receives lease lifecycle logs.
@@ -125,7 +130,7 @@ func (l *Lease) run() {
 // register retries until a registration lands or the lease stops.
 func (l *Lease) register() (*RegisterResponse, bool) {
 	for {
-		body, _ := json.Marshal(&RegisterRequest{Addr: l.advertise})
+		body, _ := json.Marshal(&RegisterRequest{Addr: l.advertise, Slots: l.opts.Slots, Cores: l.opts.Cores})
 		resp, err := l.client.Post(l.registry+"/v1/workers", "application/json", bytes.NewReader(body))
 		if err == nil {
 			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))

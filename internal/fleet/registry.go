@@ -53,6 +53,21 @@ func (o RegistryOptions) missed() int {
 type WorkerRef struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
+	// Slots is the worker's advertised concurrent-shard capacity;
+	// dispatch weights load by it so a 4-slot worker draws four times
+	// the shards of a 1-slot one.
+	Slots int `json:"slots,omitempty"`
+	// Cores is the worker's advertised CPU count (informational).
+	Cores int `json:"cores,omitempty"`
+}
+
+// slots treats unadvertised capacity as 1 — the pre-capacity protocol's
+// behavior, and the right weight for a WorkerRef built by hand.
+func (w WorkerRef) slots() int {
+	if w.Slots <= 0 {
+		return 1
+	}
+	return w.Slots
 }
 
 type regWorker struct {
@@ -118,11 +133,19 @@ func (r *Registry) Changed() <-chan struct{} {
 }
 
 // Register adds a worker and returns its reference (the address is
-// normalized to a dispatchable http:// URL). A dead entry at the same
-// address is dropped — the worker restarted (or its lease lapsed and
+// normalized to a dispatchable http:// URL). Slots is the worker's
+// advertised concurrent-shard capacity (<= 0 means 1); cores its CPU
+// count (0 = unadvertised). A dead entry at the same address is
+// dropped — the worker restarted (or its lease lapsed and
 // re-registered); either way the old id never comes back.
-func (r *Registry) Register(addr string) WorkerRef {
+func (r *Registry) Register(addr string, slots, cores int) WorkerRef {
 	addr = normalizeAddr(addr)
+	if slots <= 0 {
+		slots = 1
+	}
+	if cores < 0 {
+		cores = 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for id, w := range r.workers {
@@ -132,12 +155,12 @@ func (r *Registry) Register(addr string) WorkerRef {
 	}
 	r.seq++
 	w := &regWorker{
-		ref:      WorkerRef{ID: fmt.Sprintf("w-%d", r.seq), Addr: addr},
+		ref:      WorkerRef{ID: fmt.Sprintf("w-%d", r.seq), Addr: addr, Slots: slots, Cores: cores},
 		seq:      r.seq,
 		lastBeat: r.now(),
 	}
 	r.workers[w.ref.ID] = w
-	r.logf("fleet registry: %s registered at %s", w.ref.ID, addr)
+	r.logf("fleet registry: %s registered at %s (%d slots)", w.ref.ID, addr, slots)
 	r.broadcastLocked()
 	return w.ref
 }
@@ -226,6 +249,11 @@ type RegisterRequest struct {
 	// Addr is the address the coordinator should dispatch to
 	// ("host:port" or a full http:// URL).
 	Addr string `json:"addr"`
+	// Slots advertises how many shards the worker runs concurrently
+	// (omitted or <= 0 means 1). Dispatch weights load by it.
+	Slots int `json:"slots,omitempty"`
+	// Cores advertises the worker's CPU count (informational).
+	Cores int `json:"cores,omitempty"`
 }
 
 // RegisterResponse is the POST /v1/workers reply: the assigned id and
@@ -242,6 +270,8 @@ type WorkerInfo struct {
 	ID    string `json:"id"`
 	Addr  string `json:"addr"`
 	Alive bool   `json:"alive"`
+	Slots int    `json:"slots,omitempty"`
+	Cores int    `json:"cores,omitempty"`
 }
 
 // Handler returns the registry's HTTP routes:
@@ -272,7 +302,7 @@ func (r *Registry) handleWorkers(rw http.ResponseWriter, req *http.Request) {
 			httpError(rw, http.StatusBadRequest, "registration has no addr")
 			return
 		}
-		ref := r.Register(strings.TrimSpace(reg.Addr))
+		ref := r.Register(strings.TrimSpace(reg.Addr), reg.Slots, reg.Cores)
 		writeJSON(rw, http.StatusCreated, &RegisterResponse{
 			ID:          ref.ID,
 			HeartbeatMS: r.opts.interval().Milliseconds(),
@@ -288,7 +318,13 @@ func (r *Registry) handleWorkers(rw http.ResponseWriter, req *http.Request) {
 		}
 		sort.Slice(order, func(a, b int) bool { return order[a].seq < order[b].seq })
 		for _, w := range order {
-			infos = append(infos, WorkerInfo{ID: w.ref.ID, Addr: w.ref.Addr, Alive: !w.dead})
+			infos = append(infos, WorkerInfo{
+				ID:    w.ref.ID,
+				Addr:  w.ref.Addr,
+				Alive: !w.dead,
+				Slots: w.ref.Slots,
+				Cores: w.ref.Cores,
+			})
 		}
 		r.mu.Unlock()
 		writeJSON(rw, http.StatusOK, map[string]interface{}{"workers": infos})

@@ -42,8 +42,8 @@ func TestRegistryLifecycle(t *testing.T) {
 		Logf:              t.Logf,
 	})
 
-	a := reg.Register("127.0.0.1:1001")
-	b := reg.Register("127.0.0.1:1002")
+	a := reg.Register("127.0.0.1:1001", 1, 0)
+	b := reg.Register("127.0.0.1:1002", 1, 0)
 	if a.ID == b.ID {
 		t.Fatalf("duplicate worker ids: %s", a.ID)
 	}
@@ -81,7 +81,7 @@ func TestRegistryLifecycle(t *testing.T) {
 
 	// Re-registration at the same address drops the dead entry and
 	// issues a fresh id.
-	a2 := reg.Register("127.0.0.1:1001")
+	a2 := reg.Register("127.0.0.1:1001", 1, 0)
 	if a2.ID == a.ID {
 		t.Fatalf("re-registration reused dead id %s", a.ID)
 	}
@@ -98,7 +98,7 @@ func TestRegistryChangedWakesOnEveryTransition(t *testing.T) {
 	reg := NewRegistry(RegistryOptions{Now: clock.Now})
 
 	ch := reg.Changed()
-	w := reg.Register("127.0.0.1:1001")
+	w := reg.Register("127.0.0.1:1001", 1, 0)
 	select {
 	case <-ch:
 	default:

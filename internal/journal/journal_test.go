@@ -1,0 +1,253 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+}
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "j.journal")
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if i%2 == 0 {
+			err = w.AppendSync(rec{Kind: "even", N: i})
+		} else {
+			err = w.Append(rec{Kind: "odd", N: i})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, torn, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if len(records) != 5 {
+		t.Fatalf("got %d records, want 5", len(records))
+	}
+	for i, raw := range records {
+		var r rec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if r.N != i {
+			t.Fatalf("record %d has n=%d", i, r.N)
+		}
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Create(path); err == nil {
+		t.Fatal("Create over an existing journal succeeded; want error")
+	}
+}
+
+// TestTornTailDiscarded: a crash mid-append leaves an unterminated
+// final line; ReadAll discards exactly that line, at every byte offset
+// of the final record including offset 0 (which leaves a clean file).
+func TestTornTailDiscarded(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(rec{Kind: "r", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	prefix := lines[0] + lines[1]
+	final := lines[2] + "\n"
+
+	for cut := 0; cut < len(final); cut++ { // cut == len(final)-1 drops only the newline
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(torn, []byte(prefix+final[:cut]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		records, wasTorn, err := ReadAll(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if cut == 0 {
+			if wasTorn {
+				t.Fatalf("cut 0: clean two-record file reported torn")
+			}
+		} else if !wasTorn {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if len(records) != 2 {
+			t.Fatalf("cut %d: %d records survive, want 2", cut, len(records))
+		}
+	}
+}
+
+// TestOpenTruncatesTornTail: appending through Open after a torn write
+// must not glue the new record onto the torn fragment.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendSync(rec{Kind: "keep", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"torn","n`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendSync(rec{Kind: "after", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+
+	records, torn, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("journal torn after Open repaired it")
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	var r rec
+	if err := json.Unmarshal(records[1], &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "after" {
+		t.Fatalf("final record kind %q, want %q", r.Kind, "after")
+	}
+}
+
+// TestCorruptionIsAnError: invalid JSON on a terminated line cannot be
+// a torn append and must not be silently skipped.
+func TestCorruptionIsAnError(t *testing.T) {
+	path := tmpJournal(t)
+	if err := os.WriteFile(path, []byte("{\"kind\":\"ok\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAll(path); err == nil {
+		t.Fatal("corrupt record read back without error")
+	}
+	path2 := filepath.Join(t.TempDir(), "blank.journal")
+	if err := os.WriteFile(path2, []byte("{\"kind\":\"ok\"}\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAll(path2); err == nil {
+		t.Fatal("blank record read back without error")
+	}
+}
+
+func TestWriterClosedRejectsAppends(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec{}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestConcurrentAppends: many goroutines appending concurrently never
+// interleave lines — every record reads back as valid JSON.
+func TestConcurrentAppends(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	done := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			for i := 0; i < per; i++ {
+				if err := w.Append(rec{Kind: "c", N: g*per + i}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	records, torn, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn || len(records) != writers*per {
+		t.Fatalf("torn=%v records=%d, want %d clean", torn, len(records), writers*per)
+	}
+	seen := make(map[int]bool)
+	for _, raw := range records {
+		var r rec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		if seen[r.N] {
+			t.Fatalf("n=%d appended twice", r.N)
+		}
+		seen[r.N] = true
+	}
+}

@@ -1,0 +1,22 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash fingerprints the spec: sha256 over its canonical JSON encoding.
+// Go's json.Marshal sorts map keys, so two Specs with equal contents
+// hash identically regardless of how they were built. The fleet run
+// journal stores this next to the inlined spec so a resume can refuse
+// to graft a different study onto recorded partials.
+func (s *Spec) Hash() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("hashing spec %q: %w", s.Name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,69 @@
+package scenario
+
+import "testing"
+
+// TestSpecHashDeterministic: equal specs hash equal (including map
+// fields, which json.Marshal canonicalizes by sorting keys), and any
+// semantic change moves the hash.
+func TestSpecHashDeterministic(t *testing.T) {
+	for _, spec := range shardSpecs() {
+		a := spec
+		b := spec
+		ha, err := a.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		hb, err := b.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if ha != hb {
+			t.Fatalf("%s: equal specs hash %s vs %s", spec.Name, ha, hb)
+		}
+		if len(ha) != 64 {
+			t.Fatalf("%s: hash %q is not sha256 hex", spec.Name, ha)
+		}
+		c := spec
+		c.Demands = append([]float64{99999}, c.Demands...)
+		hc, err := c.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hc == ha {
+			t.Fatalf("%s: changed spec kept hash %s", spec.Name, ha)
+		}
+	}
+}
+
+// TestSpecHashMapOrder: maps inside the spec (region weights) hash
+// identically no matter the insertion order.
+func TestSpecHashMapOrder(t *testing.T) {
+	build := func(order []string) Spec {
+		w := make(map[string]float64)
+		for i, r := range order {
+			w[r] = float64(i + 1)
+		}
+		// Reassign so both builds carry the same values per key.
+		w["west"], w["east"], w["eu"] = 1, 2, 3
+		return Spec{
+			Name:     "hash-map-order",
+			Kind:     KindTimeline,
+			Topology: smallSynth(),
+			Systems:  []SystemAxis{{Family: "grid", Params: []int{3}}},
+			Timeline: []Step{{Label: "w", Weights: &WeightsStep{Regions: w}}},
+		}
+	}
+	a := build([]string{"west", "east", "eu"})
+	b := build([]string{"eu", "west", "east"})
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("map insertion order changed the hash: %s vs %s", ha, hb)
+	}
+}

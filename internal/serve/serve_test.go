@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -214,6 +217,118 @@ func TestServeBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/deltas: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// journaledServer is the quorumd -journal composition: an identically
+// re-buildable planner (Reproducible on, exactly as quorumd forces it
+// when -journal is set), a manager Recovered from the journal path, and
+// the HTTP layer on top.
+func journaledServer(t *testing.T, path string) (*httptest.Server, *deploy.Manager, int) {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenConfig{
+		Name:      "serve-test-15",
+		Inflation: 1.4,
+		Regions: []topology.RegionSpec{
+			{Name: "west", Count: 5, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+			{Name: "east", Count: 5, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+			{Name: "eu", Count: 5, LatMin: 44, LatMax: 55, LonMin: -2, LonMax: 15, AccessMin: 1, AccessMax: 4},
+		},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.New(topo, plan.Config{
+		System:       plan.SystemSpec{Family: "grid", Param: 3},
+		Strategy:     plan.StratLP,
+		Demand:       8000,
+		Reproducible: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, replayed, err := deploy.Recover(p, deploy.Config{MoveCost: 5}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(m, Options{MaxWait: 5 * time.Second}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, m, replayed
+}
+
+func getRaw(t *testing.T, url string) ([]byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.Header
+}
+
+// TestServeJournalRestartIdenticalHistory is the quorumd crash/restart
+// acceptance test: a journaled daemon takes deltas over HTTP, is killed
+// (server closed, journal never cleanly shut down — every batch record
+// was already fsynced), and a daemon restarted with the same flags and
+// journal replays to a byte-identical /v1/history and the same /v1/plan
+// ETag before taking new deltas.
+func TestServeJournalRestartIdenticalHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deploy.journal")
+	ts1, _, replayed := journaledServer(t, path)
+	if replayed != 0 {
+		t.Fatalf("fresh journal replayed %d batches", replayed)
+	}
+
+	var p1 PlanJSON
+	getJSON(t, ts1.URL+"/v1/plan", &p1)
+	site := p1.Sites[0].Name
+	for _, body := range []string{
+		`{"deltas":[{"kind":"demand","value":16000}]}`,
+		`{"deltas":[{"kind":"weights","weights":{"` + site + `":3}}]}`,
+		`{"deltas":[{"kind":"capacity","site":"` + site + `","value":2.5}]}`,
+	} {
+		if _, status := postDeltas(t, ts1.URL, body); status != http.StatusOK {
+			t.Fatalf("POST %s: status %d", body, status)
+		}
+	}
+	wantHistory, _ := getRaw(t, ts1.URL+"/v1/history")
+	wantPlan, wantHdr := getRaw(t, ts1.URL+"/v1/plan")
+	ts1.Close() // the kill: no CloseJournal, no drain
+
+	ts2, _, replayed := journaledServer(t, path)
+	if replayed != 3 {
+		t.Fatalf("restart replayed %d batches, want 3", replayed)
+	}
+	gotHistory, _ := getRaw(t, ts2.URL+"/v1/history")
+	if !bytes.Equal(gotHistory, wantHistory) {
+		t.Fatalf("restarted /v1/history differs:\npre-kill:  %s\nrestarted: %s", wantHistory, gotHistory)
+	}
+	gotPlan, gotHdr := getRaw(t, ts2.URL+"/v1/plan")
+	if !bytes.Equal(gotPlan, wantPlan) {
+		t.Fatal("restarted /v1/plan differs from pre-kill snapshot")
+	}
+	if gotHdr.Get("ETag") != wantHdr.Get("ETag") || gotHdr.Get("ETag") == "" {
+		t.Fatalf("restarted ETag %q, want pre-kill %q", gotHdr.Get("ETag"), wantHdr.Get("ETag"))
+	}
+
+	// The restarted daemon is live: a new delta advances the version.
+	dr, status := postDeltas(t, ts2.URL, `{"deltas":[{"kind":"demand","value":20000}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart delta status %d", status)
+	}
+	var cur PlanJSON
+	if err := json.Unmarshal(wantPlan, &cur); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Version <= cur.Version {
+		t.Fatalf("post-restart version %d did not advance past %d", dr.Version, cur.Version)
 	}
 }
 

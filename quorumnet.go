@@ -43,6 +43,7 @@ import (
 	"github.com/quorumnet/quorumnet/internal/experiments"
 	"github.com/quorumnet/quorumnet/internal/faults"
 	"github.com/quorumnet/quorumnet/internal/fleet"
+	runjournal "github.com/quorumnet/quorumnet/internal/fleet/journal"
 	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/placement"
 	"github.com/quorumnet/quorumnet/internal/plan"
@@ -445,6 +446,17 @@ func NewDeployment(p *Planner, cfg DeployConfig) (*Deployment, error) {
 // effect a later one overwrites.
 func CoalesceDeltas(ds []DeployDelta) []DeployDelta { return deploy.Coalesce(ds) }
 
+// RecoverDeployment builds a Deployment whose applied delta batches are
+// durable in an append-only journal at path, replaying any batches
+// already recorded there. The planner must be built exactly as it was
+// for the journal's original deployment (the daemon restarted with the
+// same flags, planning reproducibly): after replay the snapshot history
+// — versions, decisions, ETags — is identical to the pre-crash
+// deployment's. Returns the number of batches replayed.
+func RecoverDeployment(p *Planner, cfg DeployConfig, path string) (*Deployment, int, error) {
+	return deploy.Recover(p, cfg, path)
+}
+
 // PlanServer exposes a Deployment over HTTP: GET /v1/plan (versioned
 // snapshot, ETag, long-poll), POST /v1/deltas, GET /v1/history — the
 // transport behind the quorumd daemon.
@@ -478,6 +490,12 @@ type Scenario = scenario.Spec
 // ScenarioConfig carries execution settings a scenario does not fix:
 // seed, reproducibility, and protocol-simulation scale.
 type ScenarioConfig = scenario.RunConfig
+
+// ScenarioSettings is the serializable identity of a scenario run: the
+// ScenarioConfig fields that determine its output bytes (seed,
+// reproducibility, protocol scale), without the process-local callbacks.
+// It is what run journals and fleet shard requests carry.
+type ScenarioSettings = scenario.Settings
 
 // ScenarioTopology names a scenario's WAN source (built-in topology,
 // file, or synthesis config).
@@ -607,6 +625,54 @@ type FleetWorkerOptions = fleet.WorkerOptions
 
 // NewFleetWorker builds a shard-executing worker.
 func NewFleetWorker(opts FleetWorkerOptions) *FleetWorker { return fleet.NewWorker(opts) }
+
+// RunJournal is the durable protocol log of one fleet run: a header
+// binding the journal to its spec (by hash), then one fsynced record
+// per dispatch, completed shard (partial inlined), and the final merge.
+// Attach one to FleetConfig.Journal to record; load it after a crash to
+// resume with only the missing shards re-dispatched — the merged output
+// stays byte-identical to an uninterrupted run.
+type RunJournal = runjournal.Run
+
+// RunJournalOptions names the journal's writer and overrides its clock.
+type RunJournalOptions = runjournal.Options
+
+// RunJournalState is a loaded journal: spec, settings, shard count,
+// recovered partials, epoch, lease owner and freshness, and whether the
+// run already merged.
+type RunJournalState = runjournal.State
+
+// CreateRunJournal starts a journal for a fresh run (the path must not
+// exist).
+func CreateRunJournal(path string, spec *Scenario, cfg ScenarioSettings, shards int, opts RunJournalOptions) (*RunJournal, error) {
+	return runjournal.Create(path, spec, cfg, shards, opts)
+}
+
+// LoadRunJournal reads a journal back, discarding a torn final record
+// (the artifact of a crash mid-append) and keeping the first recorded
+// result per shard.
+func LoadRunJournal(path string) (*RunJournalState, error) { return runjournal.Load(path) }
+
+// ContinueRunJournal reopens a journal at the next epoch, fencing the
+// new coordinator's attempts from the dead one's.
+func ContinueRunJournal(path string, st *RunJournalState, opts RunJournalOptions) (*RunJournal, error) {
+	return runjournal.Continue(path, st, opts)
+}
+
+// FleetStandby tails a run journal and takes the run over when the
+// primary coordinator's lease goes stale, re-adopting the surviving
+// workers and re-dispatching only the shards without a journaled
+// result.
+type FleetStandby = fleet.Standby
+
+// FleetStandbyOptions tunes a standby: journal path, lease TTL, poll
+// cadence, and the takeover coordinator template.
+type FleetStandbyOptions = fleet.StandbyOptions
+
+// NewFleetStandby validates the options.
+func NewFleetStandby(opts FleetStandbyOptions) (*FleetStandby, error) {
+	return fleet.NewStandby(opts)
+}
 
 // Experiment regenerates one of the paper's figures.
 type Experiment = experiments.Experiment

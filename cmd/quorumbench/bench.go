@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/lp"
+	"github.com/quorumnet/quorumnet/internal/placement"
+	"github.com/quorumnet/quorumnet/internal/quorum"
+	"github.com/quorumnet/quorumnet/internal/strategy"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+// The bench mode (-bench-out) times the planning pipeline stage by stage
+// on synthetic AS-graph topologies and writes the timings as JSON, so the
+// repo carries a machine-readable perf trajectory (BENCH_plan.json)
+// instead of numbers buried in prose. Stages:
+//
+//	closure   — AS-graph generation + sparse parallel metric closure
+//	            (closure-dominated; edge construction is O(n)). At small
+//	            scales the dense Floyd–Warshall is timed too, for the
+//	            sparse-vs-dense speedup the sparse closure exists to win.
+//	placement — ball-based one-to-one construction with the pruned
+//	            anchor search (SearchAuto).
+//	strategy  — access-strategy LP (partial pricing, cold) on the
+//	            majority-3-of-5 system used throughout the bench.
+//
+// Floyd–Warshall's cost is input-independent (always n³ relaxations), so
+// timing it on the already-closed matrix is a fair dense baseline without
+// rebuilding the raw edge matrix.
+const (
+	// benchDenseMax caps the dense Floyd–Warshall baseline: n³ at 10k
+	// sites is ~20 minutes of single-core arithmetic for a number the
+	// 1k point already establishes.
+	benchDenseMax = 2000
+	// benchStrategyMax caps the LP stage: the simplex workspace holds a
+	// dense (nc+support)² basis inverse, which at 10k clients is ~800MB.
+	benchStrategyMax = 2000
+)
+
+// benchPoint is one site-scale measurement. Durations are wall-clock
+// milliseconds on whatever machine ran the bench; the ratios, not the
+// absolute numbers, are the regression signal.
+type benchPoint struct {
+	Sites           int     `json:"sites"`
+	ClosureMS       float64 `json:"closure_ms"`
+	ClosureDenseMS  float64 `json:"closure_dense_ms,omitempty"`
+	ClosureSpeedup  float64 `json:"closure_speedup,omitempty"`
+	PlacementMS     float64 `json:"placement_ms"`
+	StrategyMS      float64 `json:"strategy_ms,omitempty"`
+	LPMethod        string  `json:"lp_method,omitempty"`
+	LPIterations    int     `json:"lp_iterations,omitempty"`
+	AvgNetDelayMS   float64 `json:"avg_net_delay_ms,omitempty"`
+	TotalMS         float64 `json:"total_ms"`
+	StrategySkipped bool    `json:"strategy_skipped,omitempty"`
+}
+
+// benchReport is the file schema for -bench-out.
+type benchReport struct {
+	Tool       string       `json:"tool"`
+	Seed       int64        `json:"seed"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	System     string       `json:"system"`
+	Points     []benchPoint `json:"points"`
+}
+
+// runBenchOut executes the scale bench for each requested site count and
+// writes the report to path.
+func runBenchOut(path, sitesArg string, seed int64) int {
+	sizes, err := parseBenchSites(sitesArg)
+	if err != nil {
+		return fail(err)
+	}
+	rep := benchReport{
+		Tool:       "quorumbench -bench-out",
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		System:     "majority-3-of-5",
+	}
+	for _, n := range sizes {
+		pt, err := benchPlanPoint(n, seed)
+		if err != nil {
+			return fail(fmt.Errorf("bench at %d sites: %w", n, err))
+		}
+		line := fmt.Sprintf("bench: %5d sites: closure %.1fms", n, pt.ClosureMS)
+		if pt.ClosureDenseMS > 0 {
+			line += fmt.Sprintf(" (dense %.1fms, %.1fx)", pt.ClosureDenseMS, pt.ClosureSpeedup)
+		}
+		line += fmt.Sprintf(", placement %.1fms", pt.PlacementMS)
+		if !pt.StrategySkipped {
+			line += fmt.Sprintf(", strategy %.1fms (%s, %d iters)", pt.StrategyMS, pt.LPMethod, pt.LPIterations)
+		}
+		fmt.Fprintf(os.Stderr, "%s, total %.1fms\n", line, pt.TotalMS)
+		rep.Points = append(rep.Points, pt)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d points)\n", path, len(rep.Points))
+	return 0
+}
+
+// benchPlanPoint runs the pipeline once at one site scale.
+func benchPlanPoint(n int, seed int64) (benchPoint, error) {
+	pt := benchPoint{Sites: n}
+
+	start := time.Now()
+	topo, err := topology.Generate(topology.GenConfig{
+		Name: fmt.Sprintf("as-bench-%d", n),
+		AS:   &topology.ASGraphSpec{Sites: n},
+	}, seed)
+	if err != nil {
+		return pt, err
+	}
+	pt.ClosureMS = toMS(time.Since(start))
+
+	if n <= benchDenseMax {
+		m := topo.Distances().Clone()
+		t0 := time.Now()
+		m.MetricClosure()
+		pt.ClosureDenseMS = toMS(time.Since(t0))
+		if pt.ClosureMS > 0 {
+			pt.ClosureSpeedup = pt.ClosureDenseMS / pt.ClosureMS
+		}
+	}
+
+	sys, err := quorum.NewThreshold(3, 5)
+	if err != nil {
+		return pt, err
+	}
+	t0 := time.Now()
+	f, err := placement.OneToOne(topo, sys, placement.Options{})
+	if err != nil {
+		return pt, err
+	}
+	pt.PlacementMS = toMS(time.Since(t0))
+
+	if n <= benchStrategyMax {
+		eval, err := core.NewEval(topo, sys, f, 0)
+		if err != nil {
+			return pt, err
+		}
+		t0 = time.Now()
+		opt, err := strategy.NewOptimizer(eval, strategy.Config{
+			LP: lp.Options{Pricing: lp.PricingPartial},
+		})
+		if err != nil {
+			return pt, err
+		}
+		res, err := opt.Optimize(topo.Capacities())
+		if err != nil {
+			return pt, err
+		}
+		pt.StrategyMS = toMS(time.Since(t0))
+		pt.LPMethod = res.LPMethod
+		pt.LPIterations = res.Iterations
+		pt.AvgNetDelayMS = res.AvgNetDelay
+	} else {
+		pt.StrategySkipped = true
+	}
+
+	pt.TotalMS = pt.ClosureMS + pt.PlacementMS + pt.StrategyMS
+	return pt, nil
+}
+
+func parseBenchSites(arg string) ([]int, error) {
+	var sizes []int
+	for _, s := range strings.Split(arg, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 5 {
+			return nil, fmt.Errorf("quorumbench: bad -bench-sites entry %q (want integers ≥ 5)", s)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("quorumbench: -bench-sites is empty")
+	}
+	return sizes, nil
+}
+
+func toMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

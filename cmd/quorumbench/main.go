@@ -15,6 +15,7 @@
 //	quorumbench -scenario diurnal-demand
 //	quorumbench -scenario my-workload.json
 //	quorumbench -fig 6.3 -format csv
+//	quorumbench -bench-out BENCH_plan.json -bench-sites 100,1000,10000
 //
 // Sharded execution (the merged output is byte-identical to the
 // unsharded run, whatever the shard count or completion order):
@@ -116,6 +117,8 @@ func run() int {
 		standby   = flag.Bool("standby", false, "tail -journal as a standby coordinator and take over when the primary's lease goes stale")
 		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "journal lease staleness a -standby waits for before taking over")
 		progress  = flag.Bool("progress", false, "log per-shard/per-point completion counts to stderr")
+		benchOut  = flag.String("bench-out", "", "time the planning pipeline per stage on AS-graph topologies and write the JSON report here (see BENCH_plan.json)")
+		benchSite = flag.String("bench-sites", "100,1000", "comma-separated site counts for -bench-out")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
 	)
@@ -204,6 +207,10 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 	defer writeMemProfile(*memprof)
+
+	if *benchOut != "" {
+		return runBenchOut(*benchOut, *benchSite, *seed)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

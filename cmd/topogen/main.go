@@ -6,6 +6,7 @@
 //
 //	topogen -name planetlab-50 -o planetlab50.topo
 //	topogen -name daxlist-161 -seed 7 -o daxlist161.topo
+//	topogen -as-sites 1000 -o as1k.topo
 //	topogen -stats planetlab50.topo
 package main
 
@@ -20,10 +21,11 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("name", "planetlab-50", "topology to generate: planetlab-50 or daxlist-161")
-		seed  = flag.Int64("seed", topology.DefaultSeed, "generator seed")
-		out   = flag.String("o", "", "output file (default stdout)")
-		stats = flag.String("stats", "", "print statistics for an existing topology file and exit")
+		name    = flag.String("name", "planetlab-50", "topology to generate: planetlab-50 or daxlist-161")
+		asSites = flag.Int("as-sites", 0, "generate a power-law AS graph with this many sites instead (sparse parallel closure)")
+		seed    = flag.Int64("seed", topology.DefaultSeed, "generator seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.String("stats", "", "print statistics for an existing topology file and exit")
 	)
 	flag.Parse()
 
@@ -42,13 +44,24 @@ func main() {
 	}
 
 	var t *topology.Topology
-	switch *name {
-	case "planetlab-50":
-		t = topology.PlanetLab50(*seed)
-	case "daxlist-161":
-		t = topology.Daxlist161(*seed)
-	default:
-		fatal(fmt.Errorf("unknown topology %q (want planetlab-50 or daxlist-161)", *name))
+	if *asSites > 0 {
+		var err error
+		t, err = topology.Generate(topology.GenConfig{
+			Name: fmt.Sprintf("as-%d", *asSites),
+			AS:   &topology.ASGraphSpec{Sites: *asSites},
+		}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		switch *name {
+		case "planetlab-50":
+			t = topology.PlanetLab50(*seed)
+		case "daxlist-161":
+			t = topology.Daxlist161(*seed)
+		default:
+			fatal(fmt.Errorf("unknown topology %q (want planetlab-50, daxlist-161, or -as-sites N)", *name))
+		}
 	}
 
 	w := os.Stdout

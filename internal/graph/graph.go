@@ -11,7 +11,6 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -94,64 +93,28 @@ func (g *Graph) Neighbors(u int, fn func(v int, length float64)) {
 	}
 }
 
-// priority queue for Dijkstra
-
-type pqItem struct {
-	node int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // ShortestFrom computes single-source shortest-path distances from src to
-// every node using Dijkstra's algorithm. Unreachable nodes get Inf.
+// every node using Dijkstra's algorithm over an index-addressed 4-ary heap
+// (see sparse.go). Unreachable nodes get Inf.
 func (g *Graph) ShortestFrom(src int) []float64 {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: source %d out of range [0,%d)", src, g.n))
 	}
 	dist := make([]float64, g.n)
-	for i := range dist {
-		dist[i] = Inf
-	}
-	dist[src] = 0
-	q := pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.dist > dist[it.node] {
-			continue // stale entry
-		}
-		for _, e := range g.adj[it.node] {
-			if nd := it.dist + e.length; nd < dist[e.to] {
-				dist[e.to] = nd
-				heap.Push(&q, pqItem{node: e.to, dist: nd})
-			}
-		}
-	}
+	newDijkstra(nil, g.n).runGraph(g, src, dist)
 	return dist
 }
 
-// AllPairs computes the full shortest-path distance matrix. It runs
-// Dijkstra from every node, which is efficient for the sparse and
-// moderately sized graphs this library targets (up to a few hundred nodes).
-// The result is exactly symmetric: the two directions of each pair can
-// accumulate floating-point error in different orders, so the minimum of
-// the two is used.
+// AllPairs computes the full shortest-path distance matrix serially. It
+// runs Dijkstra from every node, reusing one workspace. The result is
+// exactly symmetric: the two directions of each pair can accumulate
+// floating-point error in different orders, so the minimum of the two is
+// used. Closure is the parallel, auto-selecting variant.
 func (g *Graph) AllPairs() *Matrix {
 	m := NewMatrix(g.n)
+	d := newDijkstra(newCSR(g), g.n)
 	for v := 0; v < g.n; v++ {
-		copy(m.rows[v], g.ShortestFrom(v))
+		d.run(v, m.rows[v])
 	}
 	for i := 0; i < g.n; i++ {
 		for j := i + 1; j < g.n; j++ {

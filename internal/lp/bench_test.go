@@ -196,6 +196,72 @@ func BenchmarkSolveWarmStrategyShaped(b *testing.B) {
 	}
 }
 
+// BenchmarkTightenResolve measures the capacity-tightening re-solve both
+// ways: a cold two-phase solve of the tightened instance versus a
+// dual-simplex warm repair of the loose optimum's basis. The warm path is
+// what Planner capacity sweeps run when stepping capacities downward; the
+// acceptance bar is that it beats the cold solve.
+func BenchmarkTightenResolve(b *testing.B) {
+	const loose = 40.0
+	setCaps := func(p *Problem, capRows []int, rhs float64) {
+		for _, r := range capRows {
+			if err := p.SetRHS(r, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	opts := Options{Pricing: PricingPartial}
+
+	// Probe for a tightening level that actually violates the loose
+	// optimum's basis (small steps can be absorbed by slack and take the
+	// warm-primal path, which BenchmarkSolveWarmStrategyShaped covers).
+	probe, capRows := strategyLP(b, 40, 25, 30, 1)
+	looseSol, err := probe.SolveWith(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tight := loose
+	for {
+		tight *= 0.92
+		setCaps(probe, capRows, tight)
+		check, err := probe.SolveWarm(opts, looseSol.Basis)
+		if err != nil {
+			b.Fatalf("hit %v at rhs %v before any tightening step needed dual repair", err, tight)
+		}
+		if check.Method == MethodWarmDual {
+			break
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		p, rows := strategyLP(b, 40, 25, 30, 1)
+		setCaps(p, rows, tight)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.SolveWith(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm-dual", func(b *testing.B) {
+		p, rows := strategyLP(b, 40, 25, 30, 1)
+		sol, err := p.SolveWith(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		setCaps(p, rows, tight)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.SolveWarm(opts, sol.Basis); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSolveGAPShaped measures the many-to-one placement's LP
 // relaxation shape (jobs × machines assignment with capacities), cold,
 // with allocation reporting.

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -126,6 +127,74 @@ func TestComplementarySlackness(t *testing.T) {
 	if math.Abs(sol.Duals[0]-1) > 1e-7 || math.Abs(sol.Duals[1]-1) > 1e-7 {
 		t.Errorf("duals = %v, want [1 1 0 0]", sol.Duals)
 	}
+}
+
+// TestWarmDualTightenRelax drives randomized tighten/relax chains through
+// SolveWarm and pins the dual-simplex contract: every feasible re-solve
+// from a valid prior basis stays on a warm path (never a silent cold
+// restart), tightening steps that break primal feasibility are repaired
+// by dual pivots (Method == MethodWarmDual), and the objective always
+// matches an independent cold solve of the same instance.
+func TestWarmDualTightenRelax(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	dualSteps, primalSteps := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		ins := newWarmTestInstance(rng, 6+rng.Intn(6), 4+rng.Intn(4))
+		warm := ins.build(t)
+		sol, err := warm.SolveWith(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: initial solve: %v", trial, err)
+		}
+		basis := sol.Basis
+		for step := 0; step < 10; step++ {
+			tighten := step%3 != 2 // mostly tighten, relax every third step
+			for m := range ins.capRHS {
+				f := 0.86 + 0.08*rng.Float64()
+				if !tighten {
+					f = 1.15 + 0.25*rng.Float64()
+				}
+				ins.capRHS[m] *= f
+				if err := warm.SetRHS(ins.jobs+m, ins.capRHS[m]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warmSol, warmErr := warm.SolveWarm(Options{}, basis)
+			coldSol, coldErr := ins.build(t).SolveWith(Options{})
+			if coldErr != nil {
+				if !errors.Is(coldErr, ErrInfeasible) {
+					t.Fatalf("trial %d step %d: cold: %v", trial, step, coldErr)
+				}
+				if !errors.Is(warmErr, ErrInfeasible) {
+					t.Fatalf("trial %d step %d: cold infeasible but warm: %v", trial, step, warmErr)
+				}
+				continue // keep the last good basis; relaxing may recover
+			}
+			if warmErr != nil {
+				t.Fatalf("trial %d step %d: warm: %v (cold solved fine)", trial, step, warmErr)
+			}
+			ins.checkFeasible(t, warmSol.X)
+			if diff := math.Abs(warmSol.Objective - coldSol.Objective); diff > 1e-6 {
+				t.Fatalf("trial %d step %d: warm objective %v vs cold %v (diff %v)",
+					trial, step, warmSol.Objective, coldSol.Objective, diff)
+			}
+			switch warmSol.Method {
+			case MethodWarmDual:
+				dualSteps++
+			case MethodWarmPrimal:
+				primalSteps++
+			default:
+				t.Fatalf("trial %d step %d: feasible re-solve from a valid basis took Method=%q",
+					trial, step, warmSol.Method)
+			}
+			basis = warmSol.Basis
+		}
+	}
+	// The chains must actually exercise both repair paths, or the test
+	// proves nothing about the dual simplex.
+	if dualSteps == 0 || primalSteps == 0 {
+		t.Fatalf("repair paths not both exercised: %d dual steps, %d primal steps", dualSteps, primalSteps)
+	}
+	t.Logf("warm re-solves: %d dual-repaired, %d primal-feasible", dualSteps, primalSteps)
 }
 
 // TestDualPredictsSensitivity: perturbing a tight constraint's rhs by eps

@@ -171,6 +171,20 @@ func (p *Problem) RHS(i int) float64 { return p.rows[i].rhs }
 // then simply solves cold).
 type Basis []int
 
+// Method values reported in Solution.Method: how the solver reached the
+// optimum.
+const (
+	// MethodCold is a full two-phase solve from the all-slack basis.
+	MethodCold = "cold"
+	// MethodWarmPrimal is a warm re-solve whose starting basis was still
+	// primal feasible (e.g. after relaxing right-hand sides).
+	MethodWarmPrimal = "warm-primal"
+	// MethodWarmDual is a warm re-solve whose starting basis was primal
+	// infeasible but dual feasible (e.g. after tightening right-hand
+	// sides), repaired by dual-simplex pivots instead of a cold restart.
+	MethodWarmDual = "warm-dual"
+)
+
 // Solution is the result of a successful Solve.
 type Solution struct {
 	// X holds the optimal values of the structural variables.
@@ -191,6 +205,11 @@ type Solution struct {
 	// reference leftover artificial columns when the constraint rows are
 	// linearly dependent; SolveWarm detects that and solves cold.
 	Basis Basis
+	// Method reports how the optimum was reached: MethodCold,
+	// MethodWarmPrimal, or MethodWarmDual. Diagnostic only — capacity
+	// sweeps use it to verify that tightening re-solves stay on the warm
+	// path.
+	Method string
 }
 
 // Pricing selects how the simplex chooses entering columns.

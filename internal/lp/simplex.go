@@ -78,19 +78,24 @@ func (p *Problem) SolveWith(opts Options) (*Solution, error) {
 				return nil, fmt.Errorf("variable %d has negative cost and no constraints: %w", j, ErrUnbounded)
 			}
 		}
-		return &Solution{X: make([]float64, p.nVars)}, nil
+		return &Solution{X: make([]float64, p.nVars), Method: MethodCold}, nil
 	}
 	s := p.workspace()
 	s.applyOptions(p, opts, tol)
-	return s.solveCold(p)
+	return s.coldTagged(p)
 }
 
 // SolveWarm re-solves the problem starting phase 2 from a prior basis,
 // typically Solution.Basis from an earlier solve of the same Problem
-// after only right-hand sides changed (SetRHS). If the basis no longer
-// applies — wrong shape, contains artificials, singular, or primal
-// infeasible under the new RHS — it falls back to a cold two-phase
-// solve, so SolveWarm is always safe to call.
+// after only right-hand sides changed (SetRHS). A basis left primal
+// infeasible by the edit (RHS tightening) but still dual feasible — the
+// optimal basis of the previous solve always is, since reduced costs do
+// not depend on the right-hand sides — is repaired in place by
+// dual-simplex pivots. If the basis no longer applies at all — wrong
+// shape, contains artificials, singular, or dual infeasible because the
+// objective changed too — it falls back to a cold two-phase solve, so
+// SolveWarm is always safe to call. Solution.Method reports which path
+// ran.
 func (p *Problem) SolveWarm(opts Options, basis Basis) (*Solution, error) {
 	tol := opts.Tol
 	if tol == 0 {
@@ -102,7 +107,32 @@ func (p *Problem) SolveWarm(opts Options, basis Basis) (*Solution, error) {
 	s := p.workspace()
 	s.applyOptions(p, opts, tol)
 	if !s.tryWarmBasis(basis) {
-		return s.solveCold(p)
+		return s.coldTagged(p)
+	}
+	method := MethodWarmPrimal
+	if !s.primalFeasible() {
+		if !s.dualFeasible(s.costPh2) {
+			return s.coldTagged(p)
+		}
+		if err := s.runDual(s.costPh2); err != nil {
+			if err == errDualStuck {
+				// The dual ratio test found no pivot, which signals primal
+				// infeasibility — but leave that verdict to a cold phase 1
+				// so tolerance corner cases cannot misreport ErrInfeasible.
+				return s.coldTagged(p)
+			}
+			if errors.Is(err, ErrIterationLimit) {
+				if s.explicitIters {
+					return nil, err
+				}
+				s.iters = 0
+				s.degenerate = 0
+				s.priceStart = 0
+				return s.coldTagged(p)
+			}
+			return nil, err
+		}
+		method = MethodWarmDual
 	}
 	if err := s.run(s.costPh2, s.firstArtificial, false); err != nil {
 		if err == errUnboundedInternal {
@@ -120,11 +150,22 @@ func (p *Problem) SolveWarm(opts Options, basis Basis) (*Solution, error) {
 			s.iters = 0
 			s.degenerate = 0
 			s.priceStart = 0
-			return s.solveCold(p)
+			return s.coldTagged(p)
 		}
 		return nil, err
 	}
-	return s.extract(p), nil
+	sol := s.extract(p)
+	sol.Method = method
+	return sol, nil
+}
+
+// coldTagged runs the cold two-phase solve and tags the solution's Method.
+func (s *simplex) coldTagged(p *Problem) (*Solution, error) {
+	sol, err := s.solveCold(p)
+	if sol != nil {
+		sol.Method = MethodCold
+	}
+	return sol, err
 }
 
 // workspace returns the cached solver workspace, building it if the
@@ -336,9 +377,10 @@ func (s *simplex) solveCold(p *Problem) (*Solution, error) {
 	return s.extract(p), nil
 }
 
-// tryWarmBasis installs a prior basis and reports whether it is usable:
-// right shape, no artificial columns, non-singular, and primal feasible
-// under the current right-hand sides.
+// tryWarmBasis installs a prior basis and reports whether it is
+// structurally usable: right shape, no artificial columns, non-singular.
+// Feasibility under the current right-hand sides is checked separately
+// (primalFeasible / dualFeasible) so the caller can pick the repair path.
 func (s *simplex) tryWarmBasis(basis Basis) bool {
 	if len(basis) != s.m {
 		return false
@@ -353,9 +395,12 @@ func (s *simplex) tryWarmBasis(basis Basis) bool {
 		s.isBasic[j] = true
 	}
 	copy(s.basis, basis)
-	if err := s.refactorize(); err != nil {
-		return false
-	}
+	return s.refactorize() == nil
+}
+
+// primalFeasible reports whether the installed basis satisfies the current
+// right-hand sides, clamping tiny negatives to zero when it does.
+func (s *simplex) primalFeasible() bool {
 	for _, v := range s.xB {
 		if v < -1e-7 {
 			return false
@@ -367,6 +412,177 @@ func (s *simplex) tryWarmBasis(basis Basis) bool {
 		}
 	}
 	return true
+}
+
+// dualFeasible reports whether every non-artificial column prices out
+// non-negative under the installed basis, i.e. the basis is optimal for
+// the cost vector on its own rows and only the right-hand sides moved.
+// The optimal basis of a previous solve always passes when only SetRHS
+// ran in between, since reduced costs do not depend on b; an objective
+// edit can fail it, in which case the caller must solve cold.
+func (s *simplex) dualFeasible(cost []float64) bool {
+	m := s.m
+	y := s.y
+	for k := range y {
+		y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		for k, rv := range row {
+			y[k] += cb * rv
+		}
+	}
+	for j := 0; j < s.firstArtificial; j++ {
+		if s.isBasic[j] {
+			continue
+		}
+		if cost[j]-s.reduceDot(j, y) < -1e-7 {
+			return false
+		}
+	}
+	return true
+}
+
+// errDualStuck marks a dual-simplex iteration where a basic variable is
+// negative but no column can enter: the LP looks primal infeasible, but
+// the verdict is left to a cold phase 1 to keep ErrInfeasible authoritative.
+var errDualStuck = errors.New("lp: dual simplex found no entering column")
+
+// runDual restores primal feasibility by dual-simplex pivots, starting
+// from a dual-feasible basis: pick the most negative basic value as the
+// leaving row, then the entering column by the dual ratio test
+// min d_j / (−α_j) over columns with α_j < 0 in the leaving row (which
+// keeps reduced costs non-negative). Each pivot uses the same basis
+// update as run; on success xB ≥ 0 and the basis is still dual feasible,
+// so a follow-up primal phase 2 terminates immediately or cheaply.
+func (s *simplex) runDual(cost []float64) error {
+	m := s.m
+	sinceRefactor := 0
+	for {
+		if s.iters >= s.maxIters {
+			return ErrIterationLimit
+		}
+		if sinceRefactor >= refactorEvery {
+			if err := s.refactorize(); err != nil {
+				return err
+			}
+			sinceRefactor = 0
+		}
+
+		// Leaving row: most negative basic value (Dantzig's dual rule),
+		// ties to the lowest row index.
+		leave := -1
+		worst := -s.tol
+		for i := 0; i < m; i++ {
+			if v := s.xB[i]; v < worst {
+				worst = v
+				leave = i
+			}
+		}
+		if leave < 0 {
+			for i, v := range s.xB {
+				if v < 0 {
+					s.xB[i] = 0
+				}
+			}
+			return nil // primal feasible again
+		}
+
+		// y = c_B^T · B^{-1} for the reduced costs of the ratio test.
+		y := s.y
+		for k := range y {
+			y[k] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := cost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k, rv := range row {
+				y[k] += cb * rv
+			}
+		}
+
+		// Dual ratio test over the leaving row of B⁻¹A: only columns with
+		// α_j < 0 can enter (they raise xB[leave] toward feasibility).
+		rowL := s.binv[leave*m : leave*m+m]
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < s.firstArtificial; j++ {
+			if s.isBasic[j] {
+				continue
+			}
+			alpha := 0.0
+			for t := s.colPtr[j]; t < s.colPtr[j+1]; t++ {
+				alpha += rowL[s.rowInd[t]] * s.vals[t]
+			}
+			if alpha >= -s.tol {
+				continue
+			}
+			d := cost[j] - s.reduceDot(j, y)
+			if d < 0 {
+				d = 0 // dual feasibility holds up to tolerance
+			}
+			ratio := d / -alpha
+			if ratio < bestRatio-s.tol || (ratio < bestRatio+s.tol && (enter == -1 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return errDualStuck
+		}
+
+		// Direction d = B^{-1} A_enter; the pivot element dir[leave] is the
+		// α computed above (negative), so θ = xB[leave]/dir[leave] > 0.
+		dir := s.dir
+		cs, ce := s.colPtr[enter], s.colPtr[enter+1]
+		for i := 0; i < m; i++ {
+			row := s.binv[i*m : i*m+m]
+			sum := 0.0
+			for t := cs; t < ce; t++ {
+				sum += row[s.rowInd[t]] * s.vals[t]
+			}
+			dir[i] = sum
+		}
+		piv := dir[leave]
+		theta := s.xB[leave] / piv
+		for i := 0; i < m; i++ {
+			if i != leave {
+				s.xB[i] -= theta * dir[i]
+			}
+		}
+		s.xB[leave] = theta
+
+		inv := 1 / piv
+		for k := range rowL {
+			rowL[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := dir[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k, rv := range rowL {
+				row[k] -= f * rv
+			}
+		}
+
+		s.isBasic[s.basis[leave]] = false
+		s.isBasic[enter] = true
+		s.basis[leave] = enter
+		s.iters++
+		sinceRefactor++
+	}
 }
 
 // extract assembles the Solution from the optimal workspace state.

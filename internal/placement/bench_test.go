@@ -74,3 +74,58 @@ func BenchmarkEvalResponseTime(b *testing.B) {
 		}
 	}
 }
+
+// benchASTopo memoizes the AS benchmark topology: generation involves a
+// 600-source sparse closure and should not be timed per-benchmark.
+var benchASTopo *topology.Topology
+
+func getBenchASTopo(b *testing.B) *topology.Topology {
+	b.Helper()
+	if benchASTopo == nil {
+		t, err := topology.Generate(topology.GenConfig{
+			Name: "as-bench",
+			AS:   &topology.ASGraphSpec{Sites: 600},
+		}, topology.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchASTopo = t
+	}
+	return benchASTopo
+}
+
+// BenchmarkAnchorSearch compares the exhaustive anchor scan against the
+// probe-and-prune search. Both return identical placements
+// (TestPrunedMatchesExhaustive); the pruned run skips every anchor whose
+// lower bound exceeds the probe incumbent. The geographic topology
+// (daxlist) prunes mostly on the cheap ball-radius bound; the small-world
+// AS topology needs the tier-2 expected-max bound.
+func BenchmarkAnchorSearch(b *testing.B) {
+	sys, err := quorum.NewThreshold(8, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tb := range []struct {
+		name string
+		topo *topology.Topology
+	}{
+		{"as-600", getBenchASTopo(b)},
+		{"dax-161", topology.Daxlist161(topology.DefaultSeed)},
+	} {
+		for _, bc := range []struct {
+			name string
+			mode SearchMode
+		}{
+			{"exhaustive", SearchExhaustive},
+			{"pruned", SearchPruned},
+		} {
+			b.Run(tb.name+"/"+bc.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := MajorityOneToOne(tb.topo, sys, Options{Search: bc.mode}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -9,12 +9,10 @@ package placement
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/gap"
 	"github.com/quorumnet/quorumnet/internal/lp"
-	"github.com/quorumnet/quorumnet/internal/par"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/topology"
 )
@@ -35,6 +33,13 @@ type Options struct {
 	// Callers that already run placements in parallel should pass 1 to
 	// avoid multiplying pools.
 	Workers int
+	// Search selects the anchor-search algorithm for the ball-based
+	// one-to-one constructions. SearchAuto (the default) switches to the
+	// probe-and-prune search on large candidate sets; SearchExhaustive
+	// scores every anchor; SearchPruned forces pruning. All modes return
+	// the identical placement — pruning only skips anchors whose score
+	// lower bound strictly exceeds an already-scored candidate.
+	Search SearchMode
 }
 
 func (o Options) scoreBy() core.Strategy {
@@ -83,7 +88,10 @@ func score(topo *topology.Topology, sys quorum.System, f core.Placement, opts Op
 // showed any one-to-one map onto a fixed ball has the same single-client
 // delay); the anchor with the lowest all-clients average delay wins.
 func MajorityOneToOne(topo *topology.Topology, sys quorum.Threshold, opts Options) (core.Placement, error) {
-	return searchAnchors(topo, sys, opts, func(v0 int) (core.Placement, error) {
+	// Elements map onto the ball in increasing-distance order, so the
+	// bound's element→ball-rank permutation is the identity.
+	bound := ballBound(topo, sys, nil, opts)
+	return searchAnchorsBounded(topo, sys, opts, bound, func(v0 int) (core.Placement, error) {
 		nodes, err := capacityBall(topo, v0, sys.UniverseSize(), sys.UniformElementLoad())
 		if err != nil {
 			return core.Placement{}, err
@@ -99,30 +107,46 @@ func MajorityOneToOne(topo *topology.Topology, sys quorum.Threshold, opts Option
 func GridOneToOne(topo *topology.Topology, sys quorum.Grid, opts Options) (core.Placement, error) {
 	k := sys.Dim()
 	n := sys.UniverseSize()
-	return searchAnchors(topo, sys, opts, func(v0 int) (core.Placement, error) {
+	// The same element→ball-rank permutation drives both the build and the
+	// score lower bound, so they cannot drift apart.
+	perm := gridShellRanks(k)
+	bound := ballBound(topo, sys, perm, opts)
+	return searchAnchorsBounded(topo, sys, opts, bound, func(v0 int) (core.Placement, error) {
 		nodes, err := capacityBall(topo, v0, n, sys.UniformElementLoad())
 		if err != nil {
 			return core.Placement{}, err
 		}
-		// nodes is ordered by increasing distance; ranks are by
-		// decreasing distance: rank r ↔ nodes[n-1-r].
 		target := make([]int, n)
-		rank := 0
-		assign := func(row, col int) {
-			target[row*k+col] = nodes[n-1-rank]
-			rank++
-		}
-		assign(0, 0)
-		for s := 1; s < k; s++ {
-			for row := 0; row < s; row++ {
-				assign(row, s)
-			}
-			for col := 0; col <= s; col++ {
-				assign(s, col)
-			}
+		for u, p := range perm {
+			target[u] = nodes[p]
 		}
 		return core.NewPlacement(target, topo)
 	})
+}
+
+// gridShellRanks returns the shell construction's element→ball-rank map:
+// element u of the k×k grid is hosted on the gridShellRanks(k)[u]-th
+// closest ball node. The ball is filled in L-shaped shells from the
+// top-left in decreasing-distance order, so the bottom-right row+column
+// quorum consists of the 2k−1 closest nodes.
+func gridShellRanks(k int) []int {
+	n := k * k
+	perm := make([]int, n)
+	rank := 0
+	assign := func(row, col int) {
+		perm[row*k+col] = n - 1 - rank
+		rank++
+	}
+	assign(0, 0)
+	for s := 1; s < k; s++ {
+		for row := 0; row < s; row++ {
+			assign(row, s)
+		}
+		for col := 0; col <= s; col++ {
+			assign(s, col)
+		}
+	}
+	return perm
 }
 
 // OneToOne dispatches to the construction matching the system's type.
@@ -143,58 +167,12 @@ func OneToOne(topo *topology.Topology, sys quorum.System, opts Options) (core.Pl
 // keeps the best. Anchors are independent, so they are evaluated on a
 // GOMAXPROCS-bounded worker pool; the results are merged in candidate
 // order afterwards, which makes the outcome identical to the serial scan
-// (ties keep the earliest candidate) regardless of scheduling.
+// (ties keep the earliest candidate) regardless of scheduling. Searches
+// with a score lower bound use searchAnchorsBounded directly, which can
+// prune anchors; this wrapper is the unconditionally exhaustive form.
 func searchAnchors(topo *topology.Topology, sys quorum.System, opts Options,
 	build func(v0 int) (core.Placement, error)) (core.Placement, error) {
-	candidates := opts.candidates(topo)
-	type anchorResult struct {
-		f        core.Placement
-		d        float64
-		err      error // scoring error: fatal
-		buildErr error // build error: anchor skipped
-	}
-	results := make([]anchorResult, len(candidates))
-	evalOne := func(i int) {
-		f, err := build(candidates[i])
-		if err != nil {
-			results[i].buildErr = err // e.g. not enough capacity around this anchor
-			return
-		}
-		d, err := score(topo, sys, f, opts)
-		if err != nil {
-			results[i].err = err
-			return
-		}
-		results[i] = anchorResult{f: f, d: d}
-	}
-	par.For(len(candidates), opts.Workers, evalOne)
-
-	bestDelay := math.Inf(1)
-	var best core.Placement
-	found := false
-	var lastErr error
-	for i := range results {
-		r := &results[i]
-		if r.err != nil {
-			return core.Placement{}, r.err
-		}
-		if r.buildErr != nil {
-			lastErr = r.buildErr
-			continue
-		}
-		if r.d < bestDelay {
-			bestDelay = r.d
-			best = r.f
-			found = true
-		}
-	}
-	if !found {
-		if lastErr != nil {
-			return core.Placement{}, fmt.Errorf("placement: no feasible anchor: %w", lastErr)
-		}
-		return core.Placement{}, fmt.Errorf("placement: no candidate anchors")
-	}
-	return best, nil
+	return searchAnchorsBounded(topo, sys, opts, nil, build)
 }
 
 // capacityBall returns the n nodes closest to v0 (ordered by increasing

@@ -20,13 +20,18 @@ type Planner struct {
 
 	// Mutable inputs. raw is the pre-closure RTT matrix — the source of
 	// truth the topology stage closes into a metric, so edits compose the
-	// same way whether applied incrementally or all at once.
-	name    string
-	sites   []topology.Site
-	raw     *graph.Matrix
-	caps    []float64
-	alpha   float64
-	weights []float64 // nil = uniform client demand
+	// same way whether applied incrementally or all at once. rawMetric
+	// records that raw is already a metric (true at New, since a
+	// Topology's matrix is one; SetRTT and AddSite clear it, RemoveSite
+	// preserves it — a principal submatrix of a metric is a metric), in
+	// which case the topology stage skips the O(n³) closure entirely.
+	name      string
+	sites     []topology.Site
+	raw       *graph.Matrix
+	rawMetric bool
+	caps      []float64
+	alpha     float64
+	weights   []float64 // nil = uniform client demand
 
 	// pin forces the placement stage to these element→site targets
 	// instead of running the construction algorithm (nil = construct).
@@ -84,12 +89,13 @@ func New(topo *topology.Topology, cfg Config) (*Planner, error) {
 		sites[i] = topo.Site(i)
 	}
 	p := &Planner{
-		cfg:   cfg,
-		name:  topo.Name(),
-		sites: sites,
-		raw:   topo.Distances().Clone(),
-		caps:  topo.Capacities(),
-		alpha: core.AlphaForDemand(cfg.Demand),
+		cfg:       cfg,
+		name:      topo.Name(),
+		sites:     sites,
+		raw:       topo.Distances().Clone(),
+		rawMetric: true, // a Topology's matrix is a metric by construction
+		caps:      topo.Capacities(),
+		alpha:     core.AlphaForDemand(cfg.Demand),
 	}
 	for s := Stage(0); s < numStages; s++ {
 		p.dirty[s] = true
@@ -144,6 +150,7 @@ func (p *Planner) SetRTT(u, v int, ms float64) error {
 		return nil
 	}
 	p.raw.Set(u, v, ms)
+	p.rawMetric = false // the edit may break the triangle inequality
 	p.note("rtt %s~%s=%.3gms", p.sites[u].Name, p.sites[v].Name, ms)
 	p.invalidateTopology()
 	return nil
@@ -326,6 +333,7 @@ func (p *Planner) AddSite(site topology.Site, rtts []float64, capacity float64) 
 		raw.Set(i, n, rtts[i])
 	}
 	p.raw = raw
+	p.rawMetric = false // the new row's RTTs are arbitrary
 	p.sites = append(p.sites, site)
 	p.caps = append(p.caps, capacity)
 	p.weights = nil
@@ -496,8 +504,13 @@ func (p *Planner) Plan() (*Snapshot, error) {
 
 	if p.dirty[StageTopology] {
 		closed := p.raw.Clone()
-		closed.MetricClosure()
-		topo, err := topology.New(p.name, p.sites, closed)
+		if !p.rawMetric {
+			closed.MetricClosure()
+		}
+		// Either branch delivers a metric (raw was one, or the closure just
+		// made it one), so the O(n³) IsMetric re-verification of
+		// topology.New is skipped too.
+		topo, err := topology.NewMetric(p.name, p.sites, closed)
 		if err != nil {
 			return nil, fmt.Errorf("plan: topology stage: %w", err)
 		}

@@ -304,6 +304,101 @@ func TestWarmReplanMatchesColdObjective(t *testing.T) {
 	}
 }
 
+// TestCapacityTightenStaysWarm pins the dual warm re-solve wiring:
+// capacity-only tightening deltas must re-solve the strategy LP from the
+// retained skeleton — dual-simplex repair when the tightened right-hand
+// sides break the previous basis, never a cold rebuild — while matching a
+// reproducible (all-cold) planner fed the same deltas.
+func TestCapacityTightenStaysWarm(t *testing.T) {
+	topo := smallTopo(t)
+	mk := func(repro bool) *Planner {
+		p, err := New(topo, Config{
+			System:       SystemSpec{Family: "grid", Param: 3},
+			Strategy:     StratLP,
+			Demand:       16000,
+			Reproducible: repro,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	warm, cold := mk(false), mk(true)
+	first := mustPlan(t, warm)
+	mustPlan(t, cold)
+	if first.LP.LPMethod != lp.MethodCold {
+		t.Fatalf("first solve reported %q, want %q", first.LP.LPMethod, lp.MethodCold)
+	}
+	lopt := 5.0 / 9 // grid(3x3) optimal load (2k-1)/k²
+	dualSeen := false
+	// Walk capacities downward toward Lopt: each step tightens every RHS.
+	for i := 5; i >= 0; i-- {
+		c := lopt + float64(i+1)*(1-lopt)/8
+		for _, p := range []*Planner{warm, cold} {
+			if err := p.SetUniformCapacity(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, errW := tryPlan(t, warm)
+		cd, errC := tryPlan(t, cold)
+		if (errW == nil) != (errC == nil) {
+			t.Fatalf("cap %.3f: warm err=%v, cold err=%v", c, errW, errC)
+		}
+		if errW != nil {
+			continue
+		}
+		switch w.LP.LPMethod {
+		case lp.MethodWarmDual:
+			dualSeen = true
+		case lp.MethodWarmPrimal:
+		default:
+			t.Errorf("cap %.3f: tightening re-solve reported %q, want a warm method", c, w.LP.LPMethod)
+		}
+		if diff := math.Abs(w.LP.AvgNetDelay - cd.LP.AvgNetDelay); diff > 1e-6*(1+math.Abs(cd.LP.AvgNetDelay)) {
+			t.Fatalf("cap %.3f: warm objective %v vs cold %v (diff %v)", c, w.LP.AvgNetDelay, cd.LP.AvgNetDelay, diff)
+		}
+	}
+	if !dualSeen {
+		t.Error("no tightening step exercised the dual-simplex repair path")
+	}
+}
+
+// TestMetricRawSkipsReclosure pins the closure-skip invariant: planners
+// seeded from an already-metric topology must produce the same planned
+// metric whether or not the topology stage re-runs the closure, and an
+// RTT edit (which can break the triangle inequality) must bring the
+// closure back.
+func TestMetricRawSkipsReclosure(t *testing.T) {
+	topo := smallTopo(t)
+	p, err := New(topo, Config{System: SystemSpec{Family: "grid", Param: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.rawMetric {
+		t.Fatal("planner seeded from a Topology should trust its metric")
+	}
+	snap := mustPlan(t, p)
+	for u := 0; u < topo.Size(); u++ {
+		for v := 0; v < topo.Size(); v++ {
+			if got, want := snap.Topology.RTT(u, v), topo.RTT(u, v); got != want {
+				t.Fatalf("RTT(%d,%d): closure-skipped plan has %v, source metric %v", u, v, got, want)
+			}
+		}
+	}
+	// A drastic shortcut edit violates the triangle inequality in raw; the
+	// closure must run again and ripple the shortcut through other pairs.
+	if err := p.SetRTT(0, topo.Size()-1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if p.rawMetric {
+		t.Fatal("SetRTT must clear the trusted-metric flag")
+	}
+	snap2 := mustPlan(t, p)
+	if !snap2.Topology.Distances().IsMetric(1e-6) {
+		t.Fatal("re-closed topology is not a metric")
+	}
+}
+
 // TestPlannerValidation exercises input checking on the delta surface.
 func TestPlannerValidation(t *testing.T) {
 	topo := smallTopo(t)

@@ -202,9 +202,9 @@ func (a SystemAxis) expand(topoSize int) []plan.SystemSpec {
 // identical scaled study and merge stays byte-identical to an unsharded
 // run of the same spec.
 type ScaleSpec struct {
-	// Sites multiplies every synthetic region's site count (rounded up).
-	// Requires the "synth" topology source — the measured topologies
-	// have a fixed roster.
+	// Sites multiplies every synthetic region's site count — or, in AS
+	// mode, the AS count — rounded up. Requires the "synth" topology
+	// source; the measured topologies have a fixed roster.
 	Sites float64 `json:"sites,omitempty"`
 	// Clients multiplies every demand-bearing knob: Demands, the sweep
 	// and iterate demand, protocol clients per site (rounded up, at
@@ -231,6 +231,11 @@ func (s *Spec) effective() *Spec {
 		synth.Regions = append([]topology.RegionSpec(nil), synth.Regions...)
 		for i := range synth.Regions {
 			synth.Regions[i].Count = int(math.Ceil(float64(synth.Regions[i].Count) * k))
+		}
+		if synth.AS != nil {
+			as := *synth.AS
+			as.Sites = int(math.Ceil(float64(as.Sites) * k))
+			synth.AS = &as
 		}
 		c.Topology.Synth = &synth
 	}

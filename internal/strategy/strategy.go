@@ -32,6 +32,11 @@ type Result struct {
 	AvgNetDelay float64
 	// Iterations is the simplex pivot count (diagnostics).
 	Iterations int
+	// LPMethod reports how the solver reached the optimum (lp.MethodCold,
+	// lp.MethodWarmPrimal, or lp.MethodWarmDual) — the observable that
+	// capacity sweeps and the planner use to confirm tightening deltas
+	// stay on the warm path.
+	LPMethod string
 }
 
 // Config tunes an Optimizer.
@@ -249,6 +254,7 @@ func (o *Optimizer) Optimize(caps []float64) (*Result, error) {
 		Strategy:    st,
 		AvgNetDelay: sol.Objective / float64(nc),
 		Iterations:  sol.Iterations,
+		LPMethod:    sol.Method,
 	}, nil
 }
 

@@ -151,7 +151,9 @@ func Load(r io.Reader) (*Topology, error) {
 	}
 	m.MetricClosure()
 
-	t, err := New(name, sites, m)
+	// The closure output is a metric by construction, so the O(n³)
+	// IsMetric validation in New is redundant here.
+	t, err := NewMetric(name, sites, m)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,11 @@ type GenConfig struct {
 	// JitterFrac is the half-width of the multiplicative jitter applied to
 	// each pairwise delay (for example 0.1 means ×U[0.9, 1.1]).
 	JitterFrac float64
+	// AS switches the generator to random-internet-AS mode: a sparse
+	// power-law link graph with tiered latencies whose metric is computed
+	// by the parallel sparse closure (see ASGraphSpec). Mutually exclusive
+	// with Regions; Inflation and JitterFrac are unused in this mode.
+	AS *ASGraphSpec `json:"as,omitempty"`
 }
 
 const (
@@ -46,6 +51,12 @@ const (
 // RTT = 2 × (great-circle/fiber speed × inflation) + access(u) + access(v),
 // jittered, then metric-closed so the triangle inequality holds.
 func Generate(cfg GenConfig, seed int64) (*Topology, error) {
+	if cfg.AS != nil {
+		if len(cfg.Regions) > 0 {
+			return nil, fmt.Errorf("topology %q: Regions and AS modes are mutually exclusive", cfg.Name)
+		}
+		return generateAS(cfg, seed)
+	}
 	total := 0
 	for _, r := range cfg.Regions {
 		if r.Count < 0 {
@@ -80,7 +91,9 @@ func Generate(cfg GenConfig, seed int64) (*Topology, error) {
 
 	m := newDistMatrix(sites, access, cfg, rng)
 	m.MetricClosure()
-	return New(cfg.Name, sites, m)
+	// The closure output is a metric by construction; NewMetric skips the
+	// redundant O(n³) validation.
+	return NewMetric(cfg.Name, sites, m)
 }
 
 // newDistMatrix computes the raw (pre-closure) pairwise RTTs.

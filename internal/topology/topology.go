@@ -48,11 +48,43 @@ func New(name string, sites []Site, dist *graph.Matrix) (*Topology, error) {
 	if !dist.IsMetric(1e-6) {
 		return nil, fmt.Errorf("topology %q: distance matrix is not a metric; apply MetricClosure first", name)
 	}
+	return newTrusted(name, sites, dist), nil
+}
+
+// NewMetric assembles a topology from a matrix the caller guarantees is
+// already a metric — for example the output of (*graph.Matrix).MetricClosure
+// or (*graph.Graph).Closure, which satisfy symmetry and the triangle
+// inequality by construction. It skips New's O(n³) IsMetric validation,
+// which at internet scale (1k–10k sites) costs more than computing the
+// closure itself.
+func NewMetric(name string, sites []Site, dist *graph.Matrix) (*Topology, error) {
+	if dist.Size() != len(sites) {
+		return nil, fmt.Errorf("topology: %d sites but %d×%d matrix", len(sites), dist.Size(), dist.Size())
+	}
+	return newTrusted(name, sites, dist), nil
+}
+
+// FromGraph builds a topology whose RTT metric is the shortest-path closure
+// of an edge graph, computed on the sparse parallel path (workers <= 0
+// means GOMAXPROCS). The graph must be connected: a disconnected graph
+// would put +Inf RTTs in the metric, which every downstream consumer
+// (placement balls, LP coefficients) would silently corrupt on.
+func FromGraph(name string, sites []Site, g *graph.Graph, workers int) (*Topology, error) {
+	if g.NumNodes() != len(sites) {
+		return nil, fmt.Errorf("topology: %d sites but %d graph nodes", len(sites), g.NumNodes())
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology %q: edge graph is disconnected", name)
+	}
+	return newTrusted(name, sites, g.Closure(workers)), nil
+}
+
+func newTrusted(name string, sites []Site, dist *graph.Matrix) *Topology {
 	caps := make([]float64, len(sites))
 	for i := range caps {
 		caps[i] = 1
 	}
-	return &Topology{name: name, sites: append([]Site(nil), sites...), dist: dist, caps: caps}, nil
+	return &Topology{name: name, sites: append([]Site(nil), sites...), dist: dist, caps: caps}
 }
 
 // Name returns the topology's name (e.g. "planetlab-50").

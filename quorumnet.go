@@ -68,6 +68,11 @@ type TopologyConfig = topology.GenConfig
 // RegionSpec is one geographic cluster of a TopologyConfig.
 type RegionSpec = topology.RegionSpec
 
+// ASGraphSpec switches a TopologyConfig to the power-law AS-graph
+// generator for 1k–10k-site internet-scale topologies (closed by the
+// sparse parallel closure; see DESIGN.md §13).
+type ASGraphSpec = topology.ASGraphSpec
+
 // DefaultSeed reproduces the topologies used in EXPERIMENTS.md.
 const DefaultSeed = topology.DefaultSeed
 

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,8 +29,17 @@ import (
 //	            sparse-vs-dense speedup the sparse closure exists to win.
 //	placement — ball-based one-to-one construction with the pruned
 //	            anchor search (SearchAuto).
-//	strategy  — access-strategy LP (partial pricing, cold) on the
-//	            majority-3-of-5 system used throughout the bench.
+//	strategy  — access-strategy LP (partial pricing) on the -bench-system
+//	            threshold system, solver-selected by size: below
+//	            strategy.DefaultColgenThreshold the dense simplex runs;
+//	            at or above it the column-generation path runs AND the
+//	            dense simplex is timed as the baseline it must beat, with
+//	            the two objectives cross-checked to 1e-9.
+//
+// -bench-clients adds a client axis: each listed count becomes one bench
+// point per site scale, with that many clients stride-sampled from the
+// sites (counts above the site count are skipped). The default is every
+// site acting as a client, like the planner's default demand model.
 //
 // Floyd–Warshall's cost is input-independent (always n³ relaxations), so
 // timing it on the already-closed matrix is a fair dense baseline without
@@ -39,26 +49,33 @@ const (
 	// sites is ~20 minutes of single-core arithmetic for a number the
 	// 1k point already establishes.
 	benchDenseMax = 2000
-	// benchStrategyMax caps the LP stage: the simplex workspace holds a
-	// dense (nc+support)² basis inverse, which at 10k clients is ~800MB.
+	// benchStrategyMax caps the LP stage by client count: both the dense
+	// simplex workspace and the colgen restricted master hold a dense
+	// basis inverse quadratic in the client/super-client count, which at
+	// 10k clients is ~800MB.
 	benchStrategyMax = 2000
 )
 
-// benchPoint is one site-scale measurement. Durations are wall-clock
-// milliseconds on whatever machine ran the bench; the ratios, not the
-// absolute numbers, are the regression signal.
+// benchPoint is one (site count, client count) measurement. Durations are
+// wall-clock milliseconds on whatever machine ran the bench; the ratios,
+// not the absolute numbers, are the regression signal.
 type benchPoint struct {
-	Sites           int     `json:"sites"`
-	ClosureMS       float64 `json:"closure_ms"`
-	ClosureDenseMS  float64 `json:"closure_dense_ms,omitempty"`
-	ClosureSpeedup  float64 `json:"closure_speedup,omitempty"`
-	PlacementMS     float64 `json:"placement_ms"`
-	StrategyMS      float64 `json:"strategy_ms,omitempty"`
-	LPMethod        string  `json:"lp_method,omitempty"`
-	LPIterations    int     `json:"lp_iterations,omitempty"`
-	AvgNetDelayMS   float64 `json:"avg_net_delay_ms,omitempty"`
-	TotalMS         float64 `json:"total_ms"`
-	StrategySkipped bool    `json:"strategy_skipped,omitempty"`
+	Sites           int                   `json:"sites"`
+	Clients         int                   `json:"clients,omitempty"`
+	Quorums         int                   `json:"quorums,omitempty"`
+	ClosureMS       float64               `json:"closure_ms"`
+	ClosureDenseMS  float64               `json:"closure_dense_ms,omitempty"`
+	ClosureSpeedup  float64               `json:"closure_speedup,omitempty"`
+	PlacementMS     float64               `json:"placement_ms"`
+	StrategyMS      float64               `json:"strategy_ms,omitempty"`
+	StrategyDenseMS float64               `json:"strategy_dense_ms,omitempty"`
+	StrategySpeedup float64               `json:"strategy_speedup,omitempty"`
+	LPMethod        string                `json:"lp_method,omitempty"`
+	LPIterations    int                   `json:"lp_iterations,omitempty"`
+	Colgen          *strategy.ColgenStats `json:"colgen,omitempty"`
+	AvgNetDelayMS   float64               `json:"avg_net_delay_ms,omitempty"`
+	TotalMS         float64               `json:"total_ms"`
+	StrategySkipped bool                  `json:"strategy_skipped,omitempty"`
 }
 
 // benchReport is the file schema for -bench-out.
@@ -67,37 +84,65 @@ type benchReport struct {
 	Seed       int64        `json:"seed"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	System     string       `json:"system"`
+	CapScale   float64      `json:"cap_scale,omitempty"`
 	Points     []benchPoint `json:"points"`
 }
 
 // runBenchOut executes the scale bench for each requested site count and
 // writes the report to path.
-func runBenchOut(path, sitesArg string, seed int64) int {
+func runBenchOut(path, sitesArg, clientsArg, systemArg string, caps float64, baselines bool, seed int64) int {
 	sizes, err := parseBenchSites(sitesArg)
 	if err != nil {
 		return fail(err)
+	}
+	clientCounts, err := parseBenchClients(clientsArg)
+	if err != nil {
+		return fail(err)
+	}
+	sys, sysLabel, err := parseBenchSystem(systemArg)
+	if err != nil {
+		return fail(err)
+	}
+	if caps <= 0 || math.IsNaN(caps) || math.IsInf(caps, 0) {
+		return fail(fmt.Errorf("quorumbench: -bench-caps must be a positive multiplier, got %v", caps))
 	}
 	rep := benchReport{
 		Tool:       "quorumbench -bench-out",
 		Seed:       seed,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		System:     "majority-3-of-5",
+		System:     sysLabel,
+	}
+	if caps != 1 {
+		rep.CapScale = caps
 	}
 	for _, n := range sizes {
-		pt, err := benchPlanPoint(n, seed)
-		if err != nil {
-			return fail(fmt.Errorf("bench at %d sites: %w", n, err))
+		counts := clientCounts
+		if counts == nil {
+			counts = []int{n}
 		}
-		line := fmt.Sprintf("bench: %5d sites: closure %.1fms", n, pt.ClosureMS)
-		if pt.ClosureDenseMS > 0 {
-			line += fmt.Sprintf(" (dense %.1fms, %.1fx)", pt.ClosureDenseMS, pt.ClosureSpeedup)
+		for _, nc := range counts {
+			if nc > n {
+				fmt.Fprintf(os.Stderr, "bench: skipping %d clients at %d sites (more clients than sites)\n", nc, n)
+				continue
+			}
+			pt, err := benchPlanPoint(n, nc, sys, caps, baselines, seed)
+			if err != nil {
+				return fail(fmt.Errorf("bench at %d sites, %d clients: %w", n, nc, err))
+			}
+			line := fmt.Sprintf("bench: %5d sites, %5d clients: closure %.1fms", n, nc, pt.ClosureMS)
+			if pt.ClosureDenseMS > 0 {
+				line += fmt.Sprintf(" (dense %.1fms, %.1fx)", pt.ClosureDenseMS, pt.ClosureSpeedup)
+			}
+			line += fmt.Sprintf(", placement %.1fms", pt.PlacementMS)
+			if !pt.StrategySkipped {
+				line += fmt.Sprintf(", strategy %.1fms (%s, %d iters)", pt.StrategyMS, pt.LPMethod, pt.LPIterations)
+				if pt.StrategyDenseMS > 0 {
+					line += fmt.Sprintf(" vs dense %.1fms (%.1fx)", pt.StrategyDenseMS, pt.StrategySpeedup)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%s, total %.1fms\n", line, pt.TotalMS)
+			rep.Points = append(rep.Points, pt)
 		}
-		line += fmt.Sprintf(", placement %.1fms", pt.PlacementMS)
-		if !pt.StrategySkipped {
-			line += fmt.Sprintf(", strategy %.1fms (%s, %d iters)", pt.StrategyMS, pt.LPMethod, pt.LPIterations)
-		}
-		fmt.Fprintf(os.Stderr, "%s, total %.1fms\n", line, pt.TotalMS)
-		rep.Points = append(rep.Points, pt)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -111,9 +156,15 @@ func runBenchOut(path, sitesArg string, seed int64) int {
 	return 0
 }
 
-// benchPlanPoint runs the pipeline once at one site scale.
-func benchPlanPoint(n int, seed int64) (benchPoint, error) {
-	pt := benchPoint{Sites: n}
+// benchPlanPoint runs the pipeline once at one (site, client) scale.
+// capScale multiplies every site capacity: below 1 the capacity rows
+// bind, which is what forces the colgen master to actually grow columns
+// instead of certifying its closest-quorum seeds in one pricing round.
+// baselines=false skips the dense Floyd–Warshall and dense-simplex
+// reference timings (and their objective cross-check) — the committed
+// BENCH_plan.json keeps them, CI smoke runs without them.
+func benchPlanPoint(n, nc int, sys quorum.System, capScale float64, baselines bool, seed int64) (benchPoint, error) {
+	pt := benchPoint{Sites: n, Clients: nc, Quorums: sys.NumQuorums()}
 
 	start := time.Now()
 	topo, err := topology.Generate(topology.GenConfig{
@@ -125,7 +176,7 @@ func benchPlanPoint(n int, seed int64) (benchPoint, error) {
 	}
 	pt.ClosureMS = toMS(time.Since(start))
 
-	if n <= benchDenseMax {
+	if baselines && n <= benchDenseMax {
 		m := topo.Distances().Clone()
 		t0 := time.Now()
 		m.MetricClosure()
@@ -135,10 +186,6 @@ func benchPlanPoint(n int, seed int64) (benchPoint, error) {
 		}
 	}
 
-	sys, err := quorum.NewThreshold(3, 5)
-	if err != nil {
-		return pt, err
-	}
 	t0 := time.Now()
 	f, err := placement.OneToOne(topo, sys, placement.Options{})
 	if err != nil {
@@ -146,10 +193,28 @@ func benchPlanPoint(n int, seed int64) (benchPoint, error) {
 	}
 	pt.PlacementMS = toMS(time.Since(t0))
 
-	if n <= benchStrategyMax {
+	if nc <= benchStrategyMax {
 		eval, err := core.NewEval(topo, sys, f, 0)
 		if err != nil {
 			return pt, err
+		}
+		if nc < n {
+			// Stride-sample so the client set spans the whole graph
+			// instead of clustering in the low generation indices.
+			clients := make([]int, nc)
+			for i := range clients {
+				clients[i] = i * n / nc
+			}
+			if err := eval.SetClients(clients); err != nil {
+				return pt, err
+			}
+		}
+		caps := topo.Capacities()
+		if capScale != 1 {
+			caps = append([]float64(nil), caps...)
+			for i := range caps {
+				caps[i] *= capScale
+			}
 		}
 		t0 = time.Now()
 		opt, err := strategy.NewOptimizer(eval, strategy.Config{
@@ -158,7 +223,7 @@ func benchPlanPoint(n int, seed int64) (benchPoint, error) {
 		if err != nil {
 			return pt, err
 		}
-		res, err := opt.Optimize(topo.Capacities())
+		res, err := opt.Optimize(caps)
 		if err != nil {
 			return pt, err
 		}
@@ -166,6 +231,33 @@ func benchPlanPoint(n int, seed int64) (benchPoint, error) {
 		pt.LPMethod = res.LPMethod
 		pt.LPIterations = res.Iterations
 		pt.AvgNetDelayMS = res.AvgNetDelay
+		pt.Colgen = res.Colgen
+
+		if baselines && res.Colgen != nil {
+			// Auto picked column generation: time the dense simplex it
+			// replaced as the baseline, and cross-check the objectives —
+			// the bench doubles as an end-to-end equivalence test.
+			t0 = time.Now()
+			dopt, err := strategy.NewOptimizer(eval, strategy.Config{
+				LP:     lp.Options{Pricing: lp.PricingPartial},
+				Solver: strategy.SolverDense,
+			})
+			if err != nil {
+				return pt, err
+			}
+			dres, err := dopt.Optimize(caps)
+			if err != nil {
+				return pt, err
+			}
+			pt.StrategyDenseMS = toMS(time.Since(t0))
+			if pt.StrategyMS > 0 {
+				pt.StrategySpeedup = pt.StrategyDenseMS / pt.StrategyMS
+			}
+			if diff := math.Abs(res.AvgNetDelay - dres.AvgNetDelay); diff > 1e-9*(1+math.Abs(dres.AvgNetDelay)) {
+				return pt, fmt.Errorf("colgen objective %v disagrees with dense %v (diff %g)",
+					res.AvgNetDelay, dres.AvgNetDelay, diff)
+			}
+		}
 	} else {
 		pt.StrategySkipped = true
 	}
@@ -191,6 +283,47 @@ func parseBenchSites(arg string) ([]int, error) {
 		return nil, fmt.Errorf("quorumbench: -bench-sites is empty")
 	}
 	return sizes, nil
+}
+
+// parseBenchClients parses the -bench-clients axis. Empty means "every
+// site is a client" (nil), matching the planner's default demand model.
+func parseBenchClients(arg string) ([]int, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, s := range strings.Split(arg, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("quorumbench: bad -bench-clients entry %q (want integers ≥ 1)", s)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("quorumbench: -bench-clients has no entries")
+	}
+	return counts, nil
+}
+
+// parseBenchSystem parses the -bench-system "k-of-n" threshold spec.
+func parseBenchSystem(arg string) (quorum.System, string, error) {
+	parts := strings.Split(strings.TrimSpace(arg), "-of-")
+	if len(parts) == 2 {
+		k, errK := strconv.Atoi(parts[0])
+		n, errN := strconv.Atoi(parts[1])
+		if errK == nil && errN == nil {
+			sys, err := quorum.NewThreshold(k, n)
+			if err != nil {
+				return nil, "", fmt.Errorf("quorumbench: -bench-system %q: %w", arg, err)
+			}
+			return sys, fmt.Sprintf("threshold-%d-of-%d", k, n), nil
+		}
+	}
+	return nil, "", fmt.Errorf("quorumbench: bad -bench-system %q (want k-of-n, e.g. 3-of-5 or 8-of-15)", arg)
 }
 
 func toMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

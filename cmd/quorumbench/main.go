@@ -16,6 +16,7 @@
 //	quorumbench -scenario my-workload.json
 //	quorumbench -fig 6.3 -format csv
 //	quorumbench -bench-out BENCH_plan.json -bench-sites 100,1000,10000
+//	quorumbench -bench-out BENCH_plan.json -bench-sites 1000 -bench-clients 1000 -bench-system 8-of-15
 //
 // Sharded execution (the merged output is byte-identical to the
 // unsharded run, whatever the shard count or completion order):
@@ -119,6 +120,10 @@ func run() int {
 		progress  = flag.Bool("progress", false, "log per-shard/per-point completion counts to stderr")
 		benchOut  = flag.String("bench-out", "", "time the planning pipeline per stage on AS-graph topologies and write the JSON report here (see BENCH_plan.json)")
 		benchSite = flag.String("bench-sites", "100,1000", "comma-separated site counts for -bench-out")
+		benchCli  = flag.String("bench-clients", "", "comma-separated client counts for the -bench-out strategy stage (default: every site is a client)")
+		benchSys  = flag.String("bench-system", "3-of-5", "threshold system for the -bench-out strategy stage, as k-of-n (8-of-15 is the colgen showcase)")
+		benchCaps = flag.Float64("bench-caps", 1, "multiplier on every site capacity for the -bench-out strategy stage; below 1 the capacity rows bind")
+		benchBase = flag.Bool("bench-baselines", true, "time the dense Floyd–Warshall and dense-simplex baselines alongside the fast paths (false: fast paths only, for smoke runs)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
 	)
@@ -209,7 +214,7 @@ func run() int {
 	defer writeMemProfile(*memprof)
 
 	if *benchOut != "" {
-		return runBenchOut(*benchOut, *benchSite, *seed)
+		return runBenchOut(*benchOut, *benchSite, *benchCli, *benchSys, *benchCaps, *benchBase, *seed)
 	}
 
 	if *list {

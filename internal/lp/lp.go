@@ -54,6 +54,31 @@ var (
 	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 )
 
+// infeasibleError carries the phase-1 dual ray that certifies
+// infeasibility (a Farkas certificate). It unwraps to ErrInfeasible, so
+// errors.Is(err, ErrInfeasible) keeps working for every caller.
+type infeasibleError struct{ ray []float64 }
+
+func (e *infeasibleError) Error() string { return ErrInfeasible.Error() }
+func (e *infeasibleError) Unwrap() error { return ErrInfeasible }
+
+// InfeasibleRay extracts the infeasibility certificate from a solve
+// error, or nil if err carries none (e.g. it is not an infeasibility, or
+// it was produced before the certificate existed). The ray y is indexed
+// by constraint row in original orientation, like Solution.Duals, and
+// satisfies y·b > 0 while y·A_j ≤ tol for every column present in the
+// problem. A column-generation caller can therefore price absent columns
+// against y: only a candidate column a with y·a > tol can reduce the
+// infeasibility, and if no such column exists in the full model, the
+// full problem is infeasible — not just the restricted one.
+func InfeasibleRay(err error) []float64 {
+	var ie *infeasibleError
+	if errors.As(err, &ie) {
+		return ie.ray
+	}
+	return nil
+}
+
 // Problem is a minimization LP over non-negative variables. The zero value
 // is unusable; create with NewProblem. A Problem is not safe for
 // concurrent use: it caches a solver workspace across Solve calls so that
@@ -136,6 +161,46 @@ func (p *Problem) AddConstraint(idx []int, coef []float64, op Op, rhs float64) e
 	return nil
 }
 
+// AddColumn appends a new structural variable x_j ≥ 0 with the given
+// objective coefficient and one entry per listed constraint row:
+// row rows[k] gains coefficient coef[k]·x_j. Row indices may repeat
+// (coefficients are summed). It returns the new variable's index.
+//
+// This is the growth operation of column generation: solve a restricted
+// master, price out absent columns against Solution.Duals, append the
+// winners, and re-solve. The workspace is rebuilt on the next solve, but
+// a Basis taken before the AddColumn remains valid for SolveWarm on the
+// grown problem — basic slack/surplus columns are encoded relative to
+// their row, not by absolute column index, so they survive the renumber.
+// Since the right-hand sides are unchanged, that basis is still primal
+// feasible and the re-solve continues with primal pivots only.
+func (p *Problem) AddColumn(cost float64, rows []int, coef []float64) (int, error) {
+	if len(rows) != len(coef) {
+		return 0, fmt.Errorf("lp: %d row indices but %d coefficients", len(rows), len(coef))
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0, fmt.Errorf("lp: invalid column cost %v", cost)
+	}
+	for k, i := range rows {
+		if i < 0 || i >= len(p.rows) {
+			return 0, fmt.Errorf("lp: row %d out of range [0,%d)", i, len(p.rows))
+		}
+		if math.IsNaN(coef[k]) || math.IsInf(coef[k], 0) {
+			return 0, fmt.Errorf("lp: invalid coefficient %v for row %d", coef[k], i)
+		}
+	}
+	j := p.nVars
+	p.nVars++
+	p.obj = append(p.obj, cost)
+	for k, i := range rows {
+		r := &p.rows[i]
+		r.idx = append(r.idx, j)
+		r.coef = append(r.coef, coef[k])
+	}
+	p.ws = nil // column structure changed; rebuild on next solve
+	return j, nil
+}
+
 // SetRHS replaces the right-hand side of row i (in the order the rows
 // were added), leaving its coefficients and operator untouched. This is
 // the mutation capacity sweeps perform between solves: combined with
@@ -163,12 +228,13 @@ func (p *Problem) SetRHS(i int, rhs float64) error {
 func (p *Problem) RHS(i int) float64 { return p.rows[i].rhs }
 
 // Basis identifies the set of basic columns of a vertex solution:
-// Basis[i] is the column (in the solver's canonical numbering —
-// structural variables first, then one slack/surplus column per
-// inequality row in row order) that is basic in row i. It is opaque to
-// callers beyond being passed back to SolveWarm on the same Problem
-// after RHS-only edits; any structural change invalidates it (SolveWarm
-// then simply solves cold).
+// Basis[i] is the column basic in row i. Structural variables are
+// recorded by index; basic slack/surplus columns are encoded relative to
+// their row (as negative values), so a Basis survives AddColumn — the
+// mechanism column generation relies on to warm-start the grown master.
+// It is opaque to callers beyond being passed back to SolveWarm on the
+// same Problem after RHS-only edits or AddColumn; adding rows or other
+// structural change invalidates it (SolveWarm then simply solves cold).
 type Basis []int
 
 // Method values reported in Solution.Method: how the solver reached the

@@ -362,7 +362,7 @@ func (s *simplex) solveCold(p *Problem) (*Solution, error) {
 			return nil, err
 		}
 		if obj := s.objective(s.costPh1); obj > 1e-7 {
-			return nil, ErrInfeasible
+			return nil, &infeasibleError{ray: s.dualRay()}
 		}
 		s.pivotOutArtificials()
 	}
@@ -378,9 +378,18 @@ func (s *simplex) solveCold(p *Problem) (*Solution, error) {
 }
 
 // tryWarmBasis installs a prior basis and reports whether it is
-// structurally usable: right shape, no artificial columns, non-singular.
-// Feasibility under the current right-hand sides is checked separately
-// (primalFeasible / dualFeasible) so the caller can pick the repair path.
+// structurally usable: right shape, decodable, no artificial columns,
+// non-singular. Feasibility under the current right-hand sides is checked
+// separately (primalFeasible / dualFeasible) so the caller can pick the
+// repair path.
+//
+// Basis entries use the encoding of extract: structural columns by index,
+// slack/surplus columns as ^ordinal (see extract). Decoding resolves the
+// ordinal against the current aux layout, so a basis recorded before an
+// AddColumn still lands on the same slack columns after the renumber.
+// Encoded artificials (ordinal ≥ nAux) decode past firstArtificial and
+// are rejected here, preserving the contract that warm starts never
+// resurrect artificial columns.
 func (s *simplex) tryWarmBasis(basis Basis) bool {
 	if len(basis) != s.m {
 		return false
@@ -388,13 +397,21 @@ func (s *simplex) tryWarmBasis(basis Basis) bool {
 	for j := range s.isBasic {
 		s.isBasic[j] = false
 	}
-	for _, j := range basis {
-		if j < 0 || j >= s.firstArtificial || s.isBasic[j] {
+	for i, enc := range basis {
+		j := enc
+		if enc < 0 {
+			j = s.nStr + ^enc
+		} else if enc >= s.nStr {
+			// A raw aux index from a workspace with a different structural
+			// count; its identity is ambiguous, so fall back to cold.
+			return false
+		}
+		if j >= s.firstArtificial || s.isBasic[j] {
 			return false
 		}
 		s.isBasic[j] = true
+		s.basis[i] = j
 	}
-	copy(s.basis, basis)
 	return s.refactorize() == nil
 }
 
@@ -618,13 +635,53 @@ func (s *simplex) extract(p *Problem) *Solution {
 		duals[i] *= s.rowSign[i]
 	}
 
+	// Encode the basis so it survives column growth: structural columns
+	// by index, aux (slack/surplus) and artificial columns as the bitwise
+	// complement of their creation ordinal (^0 = -1 for the first aux
+	// column, and so on). The ordinal depends only on the row layout, so
+	// an AddColumn — which renumbers every aux column — leaves the
+	// encoding's meaning intact; tryWarmBasis decodes against the current
+	// layout.
+	enc := make(Basis, s.m)
+	for i, j := range s.basis {
+		if j < s.nStr {
+			enc[i] = j
+		} else {
+			enc[i] = ^(j - s.nStr)
+		}
+	}
+
 	return &Solution{
 		X:          x,
 		Objective:  obj,
 		Duals:      duals,
 		Iterations: s.iters,
-		Basis:      append(Basis(nil), s.basis...),
+		Basis:      enc,
 	}
+}
+
+// dualRay computes the phase-1 dual vector y = c_B^{ph1} B⁻¹ mapped back
+// to original row orientation. At a phase-1 optimum with positive
+// objective it is a Farkas certificate of infeasibility: y·b equals the
+// residual infeasibility (> 0) while every column — structural and
+// slack/surplus alike — prices out y·A_j ≤ tol (otherwise phase 1 would
+// have pivoted it in to reduce the objective further).
+func (s *simplex) dualRay() []float64 {
+	ray := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		cb := s.costPh1[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*s.m : i*s.m+s.m]
+		for k, rv := range row {
+			ray[k] += cb * rv
+		}
+	}
+	for i := range ray {
+		ray[i] *= s.rowSign[i]
+	}
+	return ray
 }
 
 var errUnboundedInternal = fmt.Errorf("lp: internal unbounded marker")

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPlannerColgenWeightDeltas drives a colgen-solver planner and a
+// dense-solver planner through the same sequence of SetClientWeights
+// deltas (which rebuild the LP skeleton, hence re-aggregate) and asserts
+// the plans agree on the LP objective at every step. This is the
+// aggregation-correctness property end to end: colgen aggregates clients
+// by delay signature, dense never aggregates, and the results must be
+// identical anyway.
+func TestPlannerColgenWeightDeltas(t *testing.T) {
+	topo := smallTopo(t)
+	mk := func(solver string) *Planner {
+		p, err := New(topo, Config{
+			System:   SystemSpec{Family: "grid", Param: 3},
+			Strategy: StratLP,
+			Solver:   solver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cg, dn := mk("colgen"), mk("dense")
+	rng := rand.New(rand.NewSource(17))
+	for step := 0; step < 6; step++ {
+		switch {
+		case step == 5:
+			// Restore uniform demand.
+			if err := cg.SetClientWeights(nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := dn.SetClientWeights(nil); err != nil {
+				t.Fatal(err)
+			}
+		case step > 0:
+			w := make([]float64, topo.Size())
+			for i := range w {
+				w[i] = 0.2 + rng.Float64()*3
+			}
+			if err := cg.SetClientWeights(w); err != nil {
+				t.Fatal(err)
+			}
+			if err := dn.SetClientWeights(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs, ds := mustPlan(t, cg), mustPlan(t, dn)
+		if cs.LP == nil || ds.LP == nil {
+			t.Fatalf("step %d: missing LP result", step)
+		}
+		diff := math.Abs(cs.LP.AvgNetDelay - ds.LP.AvgNetDelay)
+		if diff > 1e-9*(1+math.Abs(ds.LP.AvgNetDelay)) {
+			t.Fatalf("step %d: colgen %v, dense %v (diff %g)", step, cs.LP.AvgNetDelay, ds.LP.AvgNetDelay, diff)
+		}
+		if !strings.HasPrefix(cs.LP.LPMethod, "colgen-") || cs.LP.Colgen == nil {
+			t.Fatalf("step %d: colgen snapshot lacks colgen provenance: method %q, stats %v",
+				step, cs.LP.LPMethod, cs.LP.Colgen)
+		}
+		if strings.HasPrefix(ds.LP.LPMethod, "colgen-") || ds.LP.Colgen != nil {
+			t.Fatalf("step %d: dense snapshot carries colgen provenance: method %q", step, ds.LP.LPMethod)
+		}
+	}
+}
+
+// TestPlannerSolverValidation: unknown solver names are rejected at
+// construction, and Reproducible pins the dense path even when colgen is
+// requested.
+func TestPlannerSolverValidation(t *testing.T) {
+	topo := smallTopo(t)
+	if _, err := New(topo, Config{System: SystemSpec{Family: "grid", Param: 3}, Solver: "bogus"}); err == nil {
+		t.Fatal("New accepted an unknown solver")
+	}
+	p, err := New(topo, Config{
+		System:       SystemSpec{Family: "grid", Param: 3},
+		Strategy:     StratLP,
+		Solver:       "colgen",
+		Reproducible: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mustPlan(t, p)
+	if snap.LP == nil || snap.LP.LPMethod != "cold" || snap.LP.Colgen != nil {
+		t.Fatalf("Reproducible did not pin the dense cold path: %+v", snap.LP)
+	}
+}

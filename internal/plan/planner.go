@@ -77,6 +77,9 @@ func New(topo *topology.Topology, cfg Config) (*Planner, error) {
 	if cfg.Demand < 0 || math.IsNaN(cfg.Demand) || math.IsInf(cfg.Demand, 0) {
 		return nil, fmt.Errorf("plan: invalid demand %v", cfg.Demand)
 	}
+	if _, err := strategy.ParseSolver(cfg.Solver); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
 	sys, err := cfg.System.Build()
 	if err != nil {
 		return nil, err
@@ -653,9 +656,19 @@ func (p *Planner) computeStrategy() error {
 	// re-solve with new right-hand sides, warm-started from the previous
 	// optimal basis unless reproducibility is requested.
 	if !p.optOK {
+		solver, err := strategy.ParseSolver(p.cfg.Solver)
+		if err != nil {
+			return err
+		}
+		if p.cfg.Reproducible {
+			// Byte-reproducibility is defined by the dense pivot sequence.
+			solver = strategy.SolverDense
+		}
 		opt, err := strategy.NewOptimizer(p.eval, strategy.Config{
 			LP:        p.cfg.lpOptions(),
 			WarmStart: !p.cfg.Reproducible,
+			Solver:    solver,
+			Workers:   p.cfg.Workers,
 		})
 		if err != nil {
 			return err

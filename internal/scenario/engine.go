@@ -273,7 +273,7 @@ func evalRow(spec *Spec, cfg RunConfig, topo *topology.Topology, pt systemPoint,
 	strats := make([]core.Strategy, len(spec.Strategies))
 	infeasible := make([]bool, len(spec.Strategies))
 	for si, st := range spec.Strategies {
-		strats[si], infeasible[si], err = resolveStrategy(st, e, spec, cfg)
+		strats[si], infeasible[si], err = resolveStrategy(st, e, spec, cfg, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -379,8 +379,9 @@ func dedupe(ids []int) []int {
 }
 
 // resolveStrategy materializes a strategy name against an evaluation;
-// "lp" solves the access-strategy LP under the spec's uniform capacity.
-func resolveStrategy(name string, e *core.Eval, spec *Spec, cfg RunConfig) (core.Strategy, bool, error) {
+// "lp" solves the access-strategy LP under the spec's uniform capacity,
+// with the spec's solver selection (reproducible runs pin dense).
+func resolveStrategy(name string, e *core.Eval, spec *Spec, cfg RunConfig, workers int) (core.Strategy, bool, error) {
 	switch name {
 	case "closest":
 		return core.ClosestStrategy{}, false, nil
@@ -395,7 +396,18 @@ func resolveStrategy(name string, e *core.Eval, spec *Spec, cfg RunConfig) (core
 		for i := range caps {
 			caps[i] = c
 		}
-		opt, err := strategy.NewOptimizer(e, strategy.Config{LP: cfg.lpOptions()})
+		solver, err := strategy.ParseSolver(spec.Solver)
+		if err != nil {
+			return nil, false, err
+		}
+		if cfg.Reproducible {
+			solver = strategy.SolverDense
+		}
+		opt, err := strategy.NewOptimizer(e, strategy.Config{
+			LP:      cfg.lpOptions(),
+			Solver:  solver,
+			Workers: workers,
+		})
 		if err != nil {
 			return nil, false, err
 		}
@@ -477,6 +489,7 @@ func runTimelineRows(spec *Spec, cfg RunConfig, topo *topology.Topology, systems
 		Demand:       demand,
 		Reproducible: cfg.Reproducible,
 		Workers:      spec.Workers,
+		Solver:       spec.Solver,
 	})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ func Library() []Spec {
 		CorrelatedFailure(),
 		SeedScaleStudy(),
 		ScaleFrontier(),
+		ScaleFrontierStrategy(),
 	}
 }
 
@@ -290,6 +291,38 @@ func ScaleFrontier() Spec {
 		Strategies: []string{"closest", "balanced"},
 		Demands:    []float64{0, 8000},
 		Measures:   []string{"response", "net"},
+	}
+}
+
+// ScaleFrontierStrategy is the scale-frontier variant the access LP used
+// to be "deliberately out of range" for: the same 1000-AS graph, now
+// planning the optimized "lp" strategy over all 1000 clients × 6435
+// majority-8-of-15 quorums via the column-generation solver. The closest
+// strategy rides along as the baseline the LP improves on.
+func ScaleFrontierStrategy() Spec {
+	return Spec{
+		Name:  "scale-frontier-strategy",
+		Title: "LP access strategy on a 1000-AS internet graph (column generation)",
+		Kind:  KindEval,
+		Notes: []string{
+			"1000 clients x 6435 quorums = 6.4M LP variables: the dense simplex wall colgen breaks",
+			"the colgen master only materializes priced columns; the optimum is certified for the full LP",
+			"solver 'colgen' is explicit here; 'auto' picks it anyway above strategy.DefaultColgenThreshold",
+			"capacity 0.6 binds, so the lp column is the capacity-feasible optimum the closest strategy violates",
+		},
+		Topology: TopologySpec{
+			Source: "synth",
+			Synth: &topology.GenConfig{
+				Name: "as-frontier-1k",
+				AS:   &topology.ASGraphSpec{Sites: 1000},
+			},
+		},
+		Systems:         []SystemAxis{{Family: "majority", Params: []int{7}}},
+		Strategies:      []string{"closest", "lp"},
+		Demands:         []float64{0},
+		Measures:        []string{"net"},
+		Solver:          "colgen",
+		UniformCapacity: 0.6,
 	}
 }
 

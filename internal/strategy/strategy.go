@@ -30,13 +30,71 @@ type Result struct {
 	Strategy *core.ExplicitStrategy
 	// AvgNetDelay is the LP objective: avg_v Σ_i p_vi · δ_f(v, Q_i).
 	AvgNetDelay float64
-	// Iterations is the simplex pivot count (diagnostics).
+	// Iterations is the simplex pivot count (diagnostics); on the colgen
+	// path it sums the pivots of every master re-solve.
 	Iterations int
 	// LPMethod reports how the solver reached the optimum (lp.MethodCold,
 	// lp.MethodWarmPrimal, or lp.MethodWarmDual) — the observable that
 	// capacity sweeps and the planner use to confirm tightening deltas
-	// stay on the warm path.
+	// stay on the warm path. Column-generation solves prefix it with
+	// "colgen-", reporting the first master solve's method (the later
+	// re-solves of one Optimize call are always warm).
 	LPMethod string
+	// Colgen carries column-generation diagnostics; nil on the dense path.
+	Colgen *ColgenStats `json:"colgen,omitempty"`
+}
+
+// Solver selects the algorithm behind the access LP.
+type Solver string
+
+// Solver values for Config.Solver.
+const (
+	// SolverAuto (the zero value; "auto" parses to it too) picks dense
+	// below DefaultColgenThreshold client×quorum variables and column
+	// generation at or above it — every paper-scale problem stays on the
+	// bit-reproducible dense path.
+	SolverAuto Solver = ""
+	// SolverDense always builds and solves the full nc·m-variable LP.
+	SolverDense Solver = "dense"
+	// SolverColgen always uses the column-generation path: exact client
+	// aggregation plus a restricted master grown by per-client pricing.
+	SolverColgen Solver = "colgen"
+)
+
+// DefaultColgenThreshold is the nc·m size at which SolverAuto switches
+// from the dense simplex to column generation. All paper-scale LPs
+// (≤ 161 clients × ≤ 200 quorums) fall well below it, so auto never
+// changes existing outputs; the measured crossover on AS-graph
+// topologies is around this size (see DESIGN.md §14).
+const DefaultColgenThreshold = 200000
+
+// ParseSolver normalizes a solver name ("", "auto", "dense", "colgen").
+func ParseSolver(s string) (Solver, error) {
+	switch s {
+	case "", "auto":
+		return SolverAuto, nil
+	case "dense":
+		return SolverDense, nil
+	case "colgen":
+		return SolverColgen, nil
+	default:
+		return "", fmt.Errorf("strategy: unknown solver %q (want auto, dense, or colgen)", s)
+	}
+}
+
+// resolveSolver applies the auto rule for a problem of nc·m variables.
+func resolveSolver(s Solver, size int) (Solver, error) {
+	switch s {
+	case SolverAuto, Solver("auto"):
+		if size >= DefaultColgenThreshold {
+			return SolverColgen, nil
+		}
+		return SolverDense, nil
+	case SolverDense, SolverColgen:
+		return s, nil
+	default:
+		return "", fmt.Errorf("strategy: unknown solver %q (want auto, dense, or colgen)", string(s))
+	}
 }
 
 // Config tunes an Optimizer.
@@ -49,8 +107,19 @@ type Config struct {
 	// basis (falling back to a cold solve when it no longer applies).
 	// Much faster across a capacity sweep; on degenerate problems it may
 	// settle on a different — equally optimal — vertex than a cold
-	// solve, so leave it off when bit-reproducibility matters.
+	// solve, so leave it off when bit-reproducibility matters. On the
+	// colgen path it additionally carries the master basis (and the
+	// generated columns, which persist regardless) across Optimize calls.
 	WarmStart bool
+	// Solver picks the LP algorithm; see SolverAuto.
+	Solver Solver
+	// Workers bounds the colgen pricing worker pool (0 = GOMAXPROCS).
+	// The dense path ignores it.
+	Workers int
+	// NoAggregate disables exact client aggregation on the colgen path,
+	// giving every client its own super-client. Diagnostic: aggregation
+	// is provably exact, and tests use this knob to verify that.
+	NoAggregate bool
 }
 
 // Optimizer solves the access-strategy LP repeatedly for one evaluation
@@ -72,9 +141,45 @@ type Optimizer struct {
 	capRows []int
 
 	basis lp.Basis // last optimal basis (warm start), nil until first solve
+
+	// cg is the column-generation engine; non-nil iff the resolved solver
+	// is SolverColgen, in which case the dense fields above stay unused.
+	cg *colgen
 }
 
-// NewOptimizer validates the evaluation and builds the LP skeleton.
+// nodeLoad is one support node's load contribution per access of one
+// quorum.
+type nodeLoad struct {
+	node int
+	load float64
+}
+
+// quorumNodeLoads precomputes, per quorum, its distinct support nodes and
+// each node's load contribution per access (multiplicity — the paper's
+// definition — or 0/1 dedup, per the evaluation's LoadMode). Both LP
+// solvers derive their capacity coefficients and delay maxima from it.
+func quorumNodeLoads(e *core.Eval) [][]nodeLoad {
+	m := e.Sys.NumQuorums()
+	loads := make([][]nodeLoad, m)
+	for i := 0; i < m; i++ {
+		counts := map[int]float64{}
+		for _, u := range e.Sys.Quorum(i) {
+			w := e.F.Node(u)
+			if e.Mode == core.LoadDedup {
+				counts[w] = 1
+			} else {
+				counts[w]++
+			}
+		}
+		for w, l := range counts {
+			loads[i] = append(loads[i], nodeLoad{node: w, load: l})
+		}
+	}
+	return loads
+}
+
+// NewOptimizer validates the evaluation and builds the LP skeleton (or,
+// when the resolved solver is colgen, the restricted master's seed).
 func NewOptimizer(e *core.Eval, cfg Config) (*Optimizer, error) {
 	if !e.Sys.Enumerable() {
 		return nil, fmt.Errorf("strategy: %s is not enumerable; the LP needs explicit quorums", e.Sys.Name())
@@ -84,31 +189,26 @@ func NewOptimizer(e *core.Eval, cfg Config) (*Optimizer, error) {
 	nc := len(clients)
 	nVars := nc * m
 
+	solver, err := resolveSolver(cfg.Solver, nVars)
+	if err != nil {
+		return nil, err
+	}
+	if solver == SolverColgen {
+		cg, err := newColgen(e, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Optimizer{e: e, cfg: cfg, m: m, nc: nc, cg: cg}, nil
+	}
+
 	o := &Optimizer{e: e, cfg: cfg, m: m, nc: nc}
 
 	// Precompute, per quorum: its support nodes and per-node load
 	// contribution (multiplicity or 0/1 dedup).
-	type nodeLoad struct {
-		node int
-		load float64
-	}
-	quorumLoads := make([][]nodeLoad, m)
+	quorumLoads := quorumNodeLoads(e)
 	quorumElems := make([][]int, m)
 	for i := 0; i < m; i++ {
-		elems := e.Sys.Quorum(i)
-		quorumElems[i] = elems
-		counts := map[int]float64{}
-		for _, u := range elems {
-			w := e.F.Node(u)
-			if e.Mode == core.LoadDedup {
-				counts[w] = 1
-			} else {
-				counts[w]++
-			}
-		}
-		for w, l := range counts {
-			quorumLoads[i] = append(quorumLoads[i], nodeLoad{node: w, load: l})
-		}
+		quorumElems[i] = e.Sys.Quorum(i)
 	}
 
 	// δ_f(v, Q_i) per client and quorum.
@@ -204,6 +304,9 @@ func (o *Optimizer) Optimize(caps []float64) (*Result, error) {
 	if len(caps) != e.Topo.Size() {
 		return nil, fmt.Errorf("strategy: %d capacities for %d nodes", len(caps), e.Topo.Size())
 	}
+	if o.cg != nil {
+		return o.cg.optimize(caps)
+	}
 	for r, w := range o.capRows {
 		if err := o.prob.SetRHS(o.nc+r, float64(o.nc)*caps[w]); err != nil {
 			return nil, err
@@ -270,8 +373,9 @@ func (o *Optimizer) Optimize(caps []float64) (*Result, error) {
 // accessed quorum; dedup charges it once per access.
 //
 // Optimize solves cold with the default (Dantzig) pricing, bit-for-bit
-// reproducing the original solver; build an Optimizer directly for
-// warm-started or alternatively-priced solves.
+// reproducing the original solver at paper scale (the auto solver stays
+// dense below DefaultColgenThreshold); build an Optimizer directly for
+// warm-started, alternatively-priced, or explicitly colgen solves.
 func Optimize(e *core.Eval, caps []float64) (*Result, error) {
 	o, err := NewOptimizer(e, Config{})
 	if err != nil {

@@ -28,6 +28,18 @@ type ASGraphSpec struct {
 	ExtraPeerFrac float64 `json:"extra_peer_frac,omitempty"`
 	// Workers bounds the closure fan-out; <= 0 means GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// ClientStubs appends this many degree-1 "stub" sites after the AS
+	// core, each attached to one random AS by a single access link whose
+	// latency is quantized into StubClasses fixed values. Stubs model
+	// client populations hanging off the AS graph: every stub attached to
+	// the same AS with the same latency class has a byte-identical RTT row
+	// over the non-stub sites, so the access-strategy client aggregation
+	// collapses them into one super-client exactly. Default 0 (no stubs;
+	// existing topologies are unchanged byte for byte).
+	ClientStubs int `json:"client_stubs,omitempty"`
+	// StubClasses is the number of distinct access-latency classes for
+	// stub links; class c gets a fixed 1+2c ms latency. Default 4.
+	StubClasses int `json:"stub_classes,omitempty"`
 }
 
 // Tier names double as the sites' Region, so region-based scenario
@@ -36,6 +48,7 @@ const (
 	tierCore    = "core"
 	tierTransit = "transit"
 	tierEdge    = "edge"
+	tierStub    = "stub"
 )
 
 // asLatRange gives the [min,max) one-link RTT in milliseconds by tier pair
@@ -69,6 +82,13 @@ func generateAS(cfg GenConfig, seed int64) (*Topology, error) {
 	}
 	if frac < 0 {
 		frac = 0
+	}
+	if spec.ClientStubs < 0 {
+		return nil, fmt.Errorf("topology %q: client stubs must be >= 0, got %d", cfg.Name, spec.ClientStubs)
+	}
+	stubClasses := spec.StubClasses
+	if stubClasses <= 0 {
+		stubClasses = 4
 	}
 
 	rng := rand.New(rand.NewSource(seed))
@@ -153,7 +173,8 @@ func generateAS(cfg GenConfig, seed int64) (*Topology, error) {
 		}
 	}
 
-	g := graph.New(n)
+	total := n + spec.ClientStubs
+	g := graph.New(total)
 	for _, e := range edges {
 		r := asLatRange[tier[e.u]][tier[e.v]]
 		if err := g.AddEdge(int(e.u), int(e.v), r[0]+rng.Float64()*(r[1]-r[0])); err != nil {
@@ -162,9 +183,22 @@ func generateAS(cfg GenConfig, seed int64) (*Topology, error) {
 	}
 
 	tierName := [3]string{tierCore, tierTransit, tierEdge}
-	sites := make([]Site, n)
-	for i := range sites {
+	sites := make([]Site, total)
+	for i := 0; i < n; i++ {
 		sites[i] = Site{Name: fmt.Sprintf("as-%04d", i), Region: tierName[tier[i]]}
+	}
+
+	// Stub sites draw from the rng strictly after every AS draw, so
+	// ClientStubs == 0 reproduces pre-stub topologies exactly. The access
+	// latency is a fixed per-class constant — not a random draw — which is
+	// what guarantees co-attached same-class stubs identical RTT rows.
+	for s := 0; s < spec.ClientStubs; s++ {
+		parent := rng.Intn(n)
+		class := rng.Intn(stubClasses)
+		if err := g.AddEdge(n+s, parent, 1+2*float64(class)); err != nil {
+			return nil, fmt.Errorf("topology %q: %w", cfg.Name, err)
+		}
+		sites[n+s] = Site{Name: fmt.Sprintf("stub-%04d", s), Region: tierStub}
 	}
 	return FromGraph(cfg.Name, sites, g, spec.Workers)
 }

@@ -89,6 +89,78 @@ func TestGenerateASPowerLaw(t *testing.T) {
 	}
 }
 
+// TestGenerateASClientStubs checks the two properties the stub knob
+// promises: stubs never perturb the AS core (same seed, same AS-to-AS
+// metric with or without stubs), and co-attached same-class stubs have
+// byte-identical RTT rows over the non-stub sites — the invariant the
+// access-strategy client aggregation keys on.
+func TestGenerateASClientStubs(t *testing.T) {
+	const n, stubs = 20, 200
+	base, err := Generate(asConfig(n), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GenConfig{Name: "as-test", AS: &ASGraphSpec{Sites: n, ClientStubs: stubs}}
+	topo, err := Generate(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != n+stubs {
+		t.Fatalf("Size() = %d, want %d", topo.Size(), n+stubs)
+	}
+	if got := topo.Stats().Regions[tierStub]; got != stubs {
+		t.Fatalf("stub region count = %d, want %d", got, stubs)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if topo.RTT(i, j) != base.RTT(i, j) {
+				t.Fatalf("stubs perturbed AS metric at (%d,%d): %v vs %v", i, j, topo.RTT(i, j), base.RTT(i, j))
+			}
+		}
+	}
+	// A stub's only link is its access link, so its nearest AS is its
+	// parent and that distance is the (quantized) class latency. Group by
+	// (parent, latency) and demand identical rows within each group.
+	type attach struct {
+		parent int
+		lat    float64
+	}
+	groups := make(map[attach][]int)
+	for s := n; s < n+stubs; s++ {
+		best := attach{parent: -1}
+		for v := 0; v < n; v++ {
+			if d := topo.RTT(s, v); best.parent < 0 || d < best.lat {
+				best = attach{parent: v, lat: d}
+			}
+		}
+		if best.lat != 1 && best.lat != 3 && best.lat != 5 && best.lat != 7 {
+			t.Fatalf("stub %d access latency %v not in the quantized class set", s, best.lat)
+		}
+		groups[best] = append(groups[best], s)
+	}
+	collided := 0
+	for at, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		collided++
+		for _, s := range members[1:] {
+			for v := 0; v < n; v++ {
+				if topo.RTT(s, v) != topo.RTT(members[0], v) {
+					t.Fatalf("co-attached stubs %d and %d (parent %d, class %v) differ at AS %d",
+						members[0], s, at.parent, at.lat, v)
+				}
+			}
+		}
+	}
+	if collided == 0 { // 200 stubs over 20x4 attachments must collide
+		t.Fatal("no co-attached stub pair generated; test lost its teeth")
+	}
+	if _, err := Generate(GenConfig{Name: "x", AS: &ASGraphSpec{Sites: 10, ClientStubs: -1}}, 1); err == nil {
+		t.Error("negative ClientStubs should be rejected")
+	}
+}
+
 func TestGenerateASValidation(t *testing.T) {
 	if _, err := Generate(GenConfig{Name: "x", AS: &ASGraphSpec{Sites: 2}}, 1); err == nil {
 		t.Error("too-small AS graph should fail")

@@ -248,8 +248,12 @@ const (
 	PricingPartial = lp.PricingPartial
 )
 
-// OptimizerConfig tunes a StrategyOptimizer: solver options and whether
-// successive solves warm-start from the previous optimal basis.
+// OptimizerConfig tunes a StrategyOptimizer: solver options, whether
+// successive solves warm-start from the previous optimal basis, and the
+// Solver selection (auto/dense/colgen) — auto switches to the
+// column-generation path above strategy.DefaultColgenThreshold nc·m
+// variables, which solves the same LP to the same optimum while only
+// materializing the columns that price attractively.
 type OptimizerConfig = strategy.Config
 
 // StrategyOptimizer re-solves the access-strategy LP for one evaluation

@@ -162,8 +162,8 @@ func TestPublicAPIPlanner(t *testing.T) {
 // TestPublicAPIScenario runs a library scenario and a hand-built eval
 // spec through the engine.
 func TestPublicAPIScenario(t *testing.T) {
-	if len(quorumnet.ScenarioLibrary()) != 9 {
-		t.Errorf("ScenarioLibrary() = %d scenarios, want 9", len(quorumnet.ScenarioLibrary()))
+	if len(quorumnet.ScenarioLibrary()) != 10 {
+		t.Errorf("ScenarioLibrary() = %d scenarios, want 10", len(quorumnet.ScenarioLibrary()))
 	}
 	spec := quorumnet.Scenario{
 		Name:       "api-smoke",

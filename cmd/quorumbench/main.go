@@ -124,6 +124,10 @@ func run() int {
 		benchSys  = flag.String("bench-system", "3-of-5", "threshold system for the -bench-out strategy stage, as k-of-n (8-of-15 is the colgen showcase)")
 		benchCaps = flag.Float64("bench-caps", 1, "multiplier on every site capacity for the -bench-out strategy stage; below 1 the capacity rows bind")
 		benchBase = flag.Bool("bench-baselines", true, "time the dense Floyd–Warshall and dense-simplex baselines alongside the fast paths (false: fast paths only, for smoke runs)")
+		benchSrv  = flag.String("bench-serve", "", "load-test the multi-tenant serving plane in-process (long-poll watcher fan-out, cached-read allocs) and write the JSON report here (see BENCH_serve.json)")
+		benchWtch = flag.String("bench-watchers", "10000,100000,1000000", "comma-separated watcher counts for -bench-serve")
+		benchTen  = flag.String("bench-serve-tenants", "1,4,16", "comma-separated tenant counts for -bench-serve")
+		benchRnds = flag.Int("bench-serve-rounds", 4, "publish rounds per -bench-serve point")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the figure runs to this file")
 	)
@@ -215,6 +219,10 @@ func run() int {
 
 	if *benchOut != "" {
 		return runBenchOut(*benchOut, *benchSite, *benchCli, *benchSys, *benchCaps, *benchBase, *seed)
+	}
+
+	if *benchSrv != "" {
+		return runBenchServe(*benchSrv, *benchWtch, *benchTen, *benchRnds, *seed)
 	}
 
 	if *list {

@@ -1,11 +1,15 @@
-// Serve: the quorumd serving layer end to end, in one process. The
-// program starts a deployment manager (a 4×4 Grid on PlanetLab-50 with
-// LP strategies and placement-move hysteresis) behind the HTTP serving
-// layer, then plays a monitoring client against it: reading the current
-// versioned plan, posting demand telemetry and RTT probes as delta
-// batches, and long-polling for the next published version. Run a
-// standalone daemon with `go run ./cmd/quorumd` and the same requests
-// work over the wire.
+// Serve: the quorumd multi-tenant serving plane end to end, in one
+// process. The program opens two named deployments — "core", a 4×4
+// Grid on PlanetLab-50 with LP strategies, and "edge", a 3×3 Grid on a
+// synthesized two-region WAN — behind one ServeRegistry, then plays a
+// monitoring client against it: listing the roster, reading each
+// tenant's versioned plan, posting demand telemetry and RTT probes to
+// one tenant without disturbing the other, and long-polling for the
+// next published version. The legacy single-tenant routes (/v1/plan,
+// /v1/deltas, /v1/history) still work and alias the default
+// (first-opened) tenant byte-identically. Run a standalone daemon with
+// `go run ./cmd/quorumd -deployment core -deployment edge:system=grid:3`
+// and the same requests work over the wire.
 package main
 
 import (
@@ -20,14 +24,8 @@ import (
 	quorumnet "github.com/quorumnet/quorumnet"
 )
 
-func main() {
-	// --- daemon side -------------------------------------------------
-	topo := quorumnet.PlanetLab50(quorumnet.DefaultSeed)
-	p, err := quorumnet.NewPlanner(topo, quorumnet.PlannerConfig{
-		System:   quorumnet.SystemSpec{Family: "grid", Param: 4},
-		Strategy: quorumnet.StratLP,
-		Demand:   8000,
-	})
+func openTenant(reg *quorumnet.ServeRegistry, name string, topo *quorumnet.Topology, cfg quorumnet.PlannerConfig) {
+	p, err := quorumnet.NewPlanner(topo, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +33,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts := httptest.NewServer(quorumnet.NewPlanServer(mgr, quorumnet.PlanServerOptions{}).Handler())
+	if _, err := quorumnet.OpenDeployment(reg, name, mgr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	// --- daemon side -------------------------------------------------
+	reg := quorumnet.NewServeRegistry(quorumnet.PlanServerOptions{})
+
+	// Tenant "core": the paper's PlanetLab WAN, LP strategies. Opened
+	// first, so the legacy single-tenant routes alias it.
+	openTenant(reg, "core", quorumnet.PlanetLab50(quorumnet.DefaultSeed), quorumnet.PlannerConfig{
+		System:   quorumnet.SystemSpec{Family: "grid", Param: 4},
+		Strategy: quorumnet.StratLP,
+		Demand:   8000,
+	})
+
+	// Tenant "edge": a smaller synthesized WAN with closest-quorum
+	// strategies — an independent deployment sharing the process.
+	edgeTopo, err := quorumnet.GenerateTopology(quorumnet.TopologyConfig{
+		Name:      "edge-wan",
+		Inflation: 1.4,
+		Regions: []quorumnet.RegionSpec{
+			{Name: "west", Count: 6, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+			{Name: "east", Count: 6, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+		},
+	}, quorumnet.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	openTenant(reg, "edge", edgeTopo, quorumnet.PlannerConfig{
+		System:   quorumnet.SystemSpec{Family: "grid", Param: 3},
+		Strategy: quorumnet.StratClosest,
+		Demand:   4000,
+	})
+
+	ts := httptest.NewServer(reg.Handler())
 	defer ts.Close()
 	fmt.Printf("quorumd serving at %s\n\n", ts.URL)
 
@@ -58,12 +92,12 @@ func main() {
 		if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("GET %-28s -> v%d %s response %.2fms [%s / %s]\n",
+		fmt.Printf("GET %-42s -> v%d %s response %.2fms [%s / %s]\n",
 			path, plan.Version, plan.System, plan.ResponseMS,
 			plan.Provenance.Summary, plan.Provenance.Decision)
 	}
-	post := func(deltas string) {
-		resp, err := http.Post(ts.URL+"/v1/deltas", "application/json",
+	post := func(tenant, deltas string) {
+		resp, err := http.Post(ts.URL+"/v1/deployments/"+tenant+"/deltas", "application/json",
 			bytes.NewReader([]byte(`{"deltas":[`+deltas+`]}`)))
 		if err != nil {
 			log.Fatal(err)
@@ -79,33 +113,62 @@ func main() {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("POST deltas %-24s -> v%d [%s / %s]\n",
-			deltas[:min(24, len(deltas))], out.Version, out.Provenance.Summary, out.Provenance.Decision)
+		fmt.Printf("POST %s deltas %-24s -> v%d [%s / %s]\n",
+			tenant, deltas[:min(24, len(deltas))], out.Version, out.Provenance.Summary, out.Provenance.Decision)
 	}
 
-	// The initial plan.
-	get("/v1/plan")
+	// The roster: every tenant, its version, and which one is default.
+	resp, err := http.Get(ts.URL + "/v1/deployments")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var roster struct {
+		Deployments []struct {
+			Name    string `json:"name"`
+			Version uint64 `json:"version"`
+			System  string `json:"system"`
+			Default bool   `json:"default"`
+		} `json:"deployments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&roster); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("roster:")
+	for _, d := range roster.Deployments {
+		def := ""
+		if d.Default {
+			def = "  (default — legacy /v1/plan aliases this)"
+		}
+		fmt.Printf("  %-6s v%d %s%s\n", d.Name, d.Version, d.System, def)
+	}
+	fmt.Println()
 
-	// Demand telemetry: the midday peak. Eval-only re-plan — the
-	// placement and LP strategy are reused untouched.
-	post(`{"kind":"demand","value":16000}`)
+	// Each tenant's initial plan; the legacy route is the default tenant.
+	get("/v1/deployments/core/plan")
+	get("/v1/deployments/edge/plan")
+	get("/v1/plan") // byte-identical to /v1/deployments/core/plan
 
-	// A long-poll rides the version stream: it blocks until the next
+	// Demand telemetry for core only: edge's version is untouched.
+	post("core", `{"kind":"demand","value":16000}`)
+	get("/v1/deployments/edge/plan")
+
+	// A long-poll rides core's version stream: it blocks until the next
 	// delta publishes a newer snapshot.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		get(fmt.Sprintf("/v1/plan?after=%d&timeout=10s", plan.Version+1))
+		get(fmt.Sprintf("/v1/deployments/core/plan?after=%d&timeout=10s", plan.Version+2))
 	}()
 	time.Sleep(50 * time.Millisecond)
 
 	// An RTT probe reports a slow transatlantic link: topology re-closes
 	// and the hysteresis decides whether the placement move pays.
-	post(`{"kind":"rtt","a":"na-east-00","b":"europe-00","value":220}`)
+	post("core", `{"kind":"rtt","a":"na-east-00","b":"europe-00","value":220}`)
 	<-done
 
-	// The re-plan history, newest first.
-	resp, err := http.Get(ts.URL + "/v1/history?limit=5")
+	// Core's re-plan history, newest first.
+	resp, err = http.Get(ts.URL + "/v1/deployments/core/history?limit=5")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +184,7 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nhistory (newest first):")
+	fmt.Println("\ncore history (newest first):")
 	for _, h := range hist.Snapshots {
 		fmt.Printf("  v%-3d %s\n", h.Version, h.Provenance.Decision)
 	}

@@ -257,9 +257,7 @@ func (m *Manager) Wait(ctx context.Context, after uint64) (*Entry, error) {
 		if e.Snapshot.Version > after {
 			return e, nil
 		}
-		m.hmu.Lock()
-		ch := m.notify
-		m.hmu.Unlock()
+		ch := m.Notify()
 		// Re-check: a publish may have landed between the load and the
 		// channel fetch; the freshly fetched channel only signals
 		// publishes after it was installed.
@@ -272,6 +270,20 @@ func (m *Manager) Wait(ctx context.Context, after uint64) (*Entry, error) {
 		case <-ch:
 		}
 	}
+}
+
+// Notify returns the epoch channel closed at the next publish: every
+// parked receiver is woken by that single close, so fan-out cost is
+// independent of the watcher count. The protocol for a lost-wakeup-free
+// park is fetch-then-recheck: fetch the channel, re-check Current, and
+// only then park — a publish that lands after the fetch closes exactly
+// the fetched channel. A receiver that wakes must re-fetch before
+// parking again (the closed channel stays closed).
+func (m *Manager) Notify() <-chan struct{} {
+	m.hmu.Lock()
+	ch := m.notify
+	m.hmu.Unlock()
+	return ch
 }
 
 // publish stores the entry, pushes it onto the history ring, and wakes

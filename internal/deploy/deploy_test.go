@@ -306,6 +306,45 @@ func TestWait(t *testing.T) {
 	}
 }
 
+// TestNotify exercises the epoch-broadcast park protocol the serving
+// layer builds on: fetch the channel, re-check, park — one publish
+// closes the fetched channel and wakes every parked receiver, and a
+// channel fetched after the publish is a fresh (open) epoch.
+func TestNotify(t *testing.T) {
+	m := newManager(t, Config{})
+	ch := m.Notify()
+	if ch2 := m.Notify(); ch != ch2 {
+		t.Fatal("Notify returned distinct channels with no publish in between")
+	}
+	select {
+	case <-ch:
+		t.Fatal("epoch channel closed before any publish")
+	default:
+	}
+
+	const parked = 8
+	var wg sync.WaitGroup
+	for i := 0; i < parked; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+	}
+	if _, err := m.Apply([]Delta{{Kind: KindDemand, Value: 4000}}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // the single close woke all of them
+	select {
+	case <-ch:
+	default:
+		t.Fatal("pre-publish channel not closed by the publish")
+	}
+	if next := m.Notify(); next == ch {
+		t.Fatal("post-publish Notify returned the closed epoch")
+	}
+}
+
 // TestManagerConcurrent hammers a manager with concurrent delta posts
 // and snapshot reads (run it with -race): versions must be monotonic
 // from every reader's point of view, and every published snapshot must

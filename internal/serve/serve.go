@@ -1,26 +1,39 @@
-// Package serve exposes a deploy.Manager over HTTP — the transport of
-// the quorumd daemon. Three endpoints:
+// Package serve exposes deployments over HTTP — the transport of the
+// quorumd daemon. A Registry multiplexes any number of named
+// deployments ("tenants") in one process:
+//
+//	GET  /v1/deployments                     tenant roster
+//	GET  /v1/deployments/<name>/plan         current snapshot (ETag = version)
+//	POST /v1/deployments/<name>/deltas       apply a typed delta batch
+//	GET  /v1/deployments/<name>/history      retained re-plans, newest first
+//
+// plus the legacy single-tenant routes, which alias the registry's
+// default deployment byte-for-byte:
 //
 //	GET  /v1/plan    — the current snapshot. ETag is the plan version
 //	                   ("v<n>"); If-None-Match returns 304 when nothing
 //	                   changed. With ?after=<version>, the request
 //	                   long-polls until a newer snapshot is published or
-//	                   ?timeout (capped by Options.MaxWait) elapses, in
-//	                   which case the current snapshot is served.
+//	                   ?timeout (capped by Options.MaxWait; 0 means
+//	                   "don't wait") elapses, in which case the current
+//	                   snapshot is served.
 //	POST /v1/deltas  — {"deltas": [...]} applies a batch of typed deltas
 //	                   (see deploy.Delta) and returns the resulting
 //	                   version and provenance.
 //	GET  /v1/history — the retained re-plan history with provenance,
 //	                   newest first (?limit=n).
 //
-// Reads are wait-free: the handler serves the atomically published
-// snapshot, so a slow re-plan never blocks readers.
+// Reads are wait-free and allocation-free on the hot path: each
+// publish is JSON-encoded once into immutable bytes (body + ETag), and
+// every reader serves those cached bytes; 304s never touch the
+// snapshot. Long-polls park on the tenant's epoch channel — one
+// channel close per publish wakes every watcher — with deadlines on a
+// shared coarse timer wheel instead of per-request timers, and a
+// configurable watcher cap (503 + Retry-After beyond it).
 package serve
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -29,10 +42,18 @@ import (
 	"github.com/quorumnet/quorumnet/internal/deploy"
 )
 
+// DefaultMaxWatchers caps concurrently parked long-polls per tenant
+// when Options.MaxWatchers is zero.
+const DefaultMaxWatchers = 1 << 20
+
 // Options tunes the server.
 type Options struct {
 	// MaxWait caps a long-poll's ?timeout (default 30s).
 	MaxWait time.Duration
+	// MaxWatchers caps concurrently parked long-polls per tenant
+	// (default DefaultMaxWatchers); beyond it polls are rejected with
+	// 503 + Retry-After instead of growing the parked set without bound.
+	MaxWatchers int
 }
 
 func (o Options) maxWait() time.Duration {
@@ -42,23 +63,35 @@ func (o Options) maxWait() time.Duration {
 	return o.MaxWait
 }
 
-// Server serves one deployment.
+func (o Options) maxWatchers() int {
+	if o.MaxWatchers <= 0 {
+		return DefaultMaxWatchers
+	}
+	return o.MaxWatchers
+}
+
+// Server serves one deployment: the single-tenant view, kept for the
+// quorumd default mode and embedders that need exactly one deployment.
+// It is a Registry of one.
 type Server struct {
-	m    *deploy.Manager
-	opts Options
+	t *Tenant
 }
 
 // New wraps a manager.
 func New(m *deploy.Manager, opts Options) *Server {
-	return &Server{m: m, opts: opts}
+	return &Server{t: newTenant(DefaultTenant, m, opts, newWheel(0))}
 }
+
+// Tenant returns the server's single tenant (for stats and in-process
+// reads).
+func (s *Server) Tenant() *Tenant { return s.t }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/plan", s.handlePlan)
-	mux.HandleFunc("/v1/deltas", s.handleDeltas)
-	mux.HandleFunc("/v1/history", s.handleHistory)
+	mux.HandleFunc("/v1/plan", s.t.handlePlan)
+	mux.HandleFunc("/v1/deltas", s.t.handleDeltas)
+	mux.HandleFunc("/v1/history", s.t.handleHistory)
 	return mux
 }
 
@@ -80,7 +113,7 @@ type ProvenanceJSON struct {
 	Decision   string   `json:"decision"`
 }
 
-// PlanJSON is the GET /v1/plan payload.
+// PlanJSON is the GET plan payload.
 type PlanJSON struct {
 	Version      uint64         `json:"version"`
 	Topology     string         `json:"topology"`
@@ -95,7 +128,7 @@ type PlanJSON struct {
 	Provenance   ProvenanceJSON `json:"provenance"`
 }
 
-// HistoryEntryJSON is one GET /v1/history element.
+// HistoryEntryJSON is one GET history element.
 type HistoryEntryJSON struct {
 	Version    uint64         `json:"version"`
 	ResponseMS float64        `json:"response_ms"`
@@ -104,12 +137,12 @@ type HistoryEntryJSON struct {
 	Provenance ProvenanceJSON `json:"provenance"`
 }
 
-// DeltasRequest is the POST /v1/deltas payload.
+// DeltasRequest is the POST deltas payload.
 type DeltasRequest struct {
 	Deltas []deploy.Delta `json:"deltas"`
 }
 
-// DeltasResponse is the POST /v1/deltas reply.
+// DeltasResponse is the POST deltas reply.
 type DeltasResponse struct {
 	Version    uint64         `json:"version"`
 	ResponseMS float64        `json:"response_ms"`
@@ -163,50 +196,6 @@ func planJSON(e *deploy.Entry) *PlanJSON {
 
 func etag(v uint64) string { return fmt.Sprintf("\"v%d\"", v) }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	entry := s.m.Current()
-
-	// Long-poll: ?after=<version> (optionally with ?timeout=<duration>)
-	// blocks until a newer version is published. If-None-Match with the
-	// current ETag behaves like after=<current>.
-	after, hasAfter, err := parseAfter(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if !hasAfter && r.Header.Get("If-None-Match") == etag(entry.Snapshot.Version) {
-		if r.URL.Query().Get("timeout") == "" {
-			w.Header().Set("ETag", etag(entry.Snapshot.Version))
-			w.WriteHeader(http.StatusNotModified)
-			return
-		}
-		after, hasAfter = entry.Snapshot.Version, true
-	}
-	if hasAfter && entry.Snapshot.Version <= after {
-		timeout := s.opts.maxWait()
-		if tstr := r.URL.Query().Get("timeout"); tstr != "" {
-			d, err := time.ParseDuration(tstr)
-			if err != nil || d <= 0 {
-				httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid timeout %q", tstr))
-				return
-			}
-			if d < timeout {
-				timeout = d
-			}
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
-		defer cancel()
-		entry, _ = s.m.Wait(ctx, after) // timeout serves the current plan
-	}
-
-	w.Header().Set("ETag", etag(entry.Snapshot.Version))
-	writeJSON(w, http.StatusOK, planJSON(entry))
-}
-
 func parseAfter(r *http.Request) (uint64, bool, error) {
 	str := r.URL.Query().Get("after")
 	if str == "" {
@@ -217,73 +206,6 @@ func parseAfter(r *http.Request) (uint64, bool, error) {
 		return 0, false, fmt.Errorf("invalid after version %q", str)
 	}
 	return v, true, nil
-}
-
-func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	var req DeltasRequest
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding deltas: "+err.Error())
-		return
-	}
-	if len(req.Deltas) == 0 {
-		httpError(w, http.StatusBadRequest, "empty delta batch")
-		return
-	}
-	entry, err := s.m.Apply(req.Deltas)
-	if err != nil {
-		// A malformed batch is rejected untouched (400); a batch that
-		// applied but cannot be planned (e.g. LP infeasible under the
-		// new capacities) is a conflict with the deployment's state —
-		// the previous snapshot keeps being served.
-		status := http.StatusBadRequest
-		if errors.Is(err, deploy.ErrReplan) {
-			status = http.StatusConflict
-		}
-		httpError(w, status, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, &DeltasResponse{
-		Version:    entry.Snapshot.Version,
-		ResponseMS: entry.Snapshot.Response,
-		Provenance: provenanceJSON(entry),
-	})
-}
-
-func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	entries := s.m.History()
-	limit := len(entries)
-	if lstr := r.URL.Query().Get("limit"); lstr != "" {
-		l, err := strconv.Atoi(lstr)
-		if err != nil || l <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", lstr))
-			return
-		}
-		if l < limit {
-			limit = l
-		}
-	}
-	out := make([]HistoryEntryJSON, 0, limit)
-	for i := len(entries) - 1; i >= len(entries)-limit; i-- {
-		e := entries[i]
-		out = append(out, HistoryEntryJSON{
-			Version:    e.Snapshot.Version,
-			ResponseMS: e.Snapshot.Response,
-			NetDelayMS: e.Snapshot.NetDelay,
-			Applied:    e.Applied,
-			Provenance: provenanceJSON(e),
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"snapshots": out})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -480,6 +480,32 @@ func NewPlanServer(m *Deployment, opts PlanServerOptions) *PlanServer {
 	return serve.New(m, opts)
 }
 
+// ServeRegistry multiplexes named Deployments behind one HTTP handler:
+// GET /v1/deployments (roster), /v1/deployments/<name>/{plan,deltas,
+// history} per tenant, with the legacy single-tenant routes aliasing
+// the default (first-opened) deployment byte-identically. Tenants
+// share the process — one planner pool, one deadline wheel — and each
+// serves its plan from a per-publish encoding cache, waking parked
+// long-poll watchers with a single epoch-channel close per publish.
+type ServeRegistry = serve.Registry
+
+// ServeTenant is one named deployment inside a ServeRegistry, with its
+// cached current-plan encoding and serving counters.
+type ServeTenant = serve.Tenant
+
+// NewServeRegistry builds an empty multi-tenant serving plane; add
+// deployments with OpenDeployment and mount Handler().
+func NewServeRegistry(opts PlanServerOptions) *ServeRegistry {
+	return serve.NewRegistry(opts)
+}
+
+// OpenDeployment registers a deployment under name in the registry.
+// The first deployment opened becomes the default the legacy
+// single-tenant routes alias.
+func OpenDeployment(r *ServeRegistry, name string, m *Deployment) (*ServeTenant, error) {
+	return r.Open(name, m)
+}
+
 // EvalUnreplanned evaluates a deployment that does not re-plan around a
 // node failure: the placement stays fixed, explicit strategies are
 // renormalized over the surviving quorums, and the returned evaluator

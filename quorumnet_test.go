@@ -2,7 +2,9 @@ package quorumnet_test
 
 import (
 	"bytes"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -263,5 +265,60 @@ func TestPublicAPIExperiments(t *testing.T) {
 	}
 	if len(tb.Rows) == 0 {
 		t.Error("empty experiment table")
+	}
+}
+
+// TestPublicAPIServeRegistry opens two deployments behind one
+// ServeRegistry and checks tenant routing plus the legacy alias.
+func TestPublicAPIServeRegistry(t *testing.T) {
+	mk := func(param int) *quorumnet.Deployment {
+		p, err := quorumnet.NewPlanner(quorumnet.PlanetLab50(quorumnet.DefaultSeed), quorumnet.PlannerConfig{
+			System:   quorumnet.SystemSpec{Family: "grid", Param: param},
+			Strategy: quorumnet.StratClosest,
+			Demand:   8000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := quorumnet.NewDeployment(p, quorumnet.DeployConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	reg := quorumnet.NewServeRegistry(quorumnet.PlanServerOptions{})
+	if _, err := quorumnet.OpenDeployment(reg, "core", mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := quorumnet.OpenDeployment(reg, "edge", mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.Name() != "edge" {
+		t.Fatalf("tenant name %q, want edge", edge.Name())
+	}
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+	read := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	legacy, core := read("/v1/plan"), read("/v1/deployments/core/plan")
+	if legacy != core {
+		t.Fatal("legacy /v1/plan is not byte-identical to the default tenant's plan")
+	}
+	if read("/v1/deployments/edge/plan") == core {
+		t.Fatal("edge tenant served the core plan")
 	}
 }

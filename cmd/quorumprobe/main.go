@@ -1,0 +1,142 @@
+// Command quorumprobe runs the RTT ping mesh: one UDP echo responder
+// and one probe agent per declared site, all in one process, feeding a
+// shared batcher that posts coalesced rtt deltas to a quorumd deltas
+// endpoint on a fixed cadence. Each agent measures its row of the N×N
+// mesh (windowed median, MAD spike rejection, emission hysteresis — see
+// internal/probe), so a healthy stationary mesh posts nothing after the
+// warmup baselines, and only genuine drift reaches the planner.
+//
+// Usage:
+//
+//	quorumprobe -target http://127.0.0.1:8080/v1/deltas \
+//	            -site plab-us-east-00=127.0.0.1:9001 \
+//	            -site plab-us-west-01=127.0.0.1:9002 \
+//	            -site plab-europe-02=127.0.0.1:9003 \
+//	            -interval 1s -cadence 5s
+//
+// Site names must match the target deployment's topology. Running every
+// agent in one process is the single-host drill shape (CI, demos); in a
+// real mesh each host runs quorumprobe with one -site for itself and
+// the full roster in -peer flags of the others. A dead peer degrades
+// only its own pairs: measurement errors are counted, logged once per
+// transition, and never stop the mesh.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/probe"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080/v1/deltas", "quorumd deltas endpoint")
+		interval = flag.Duration("interval", time.Second, "probe round interval per agent")
+		cadence  = flag.Duration("cadence", 5*time.Second, "delta post cadence (coalesced per window)")
+		window   = flag.Int("window", 0, "smoothing window length (0 = default 9)")
+		noise    = flag.Float64("noise", 0, "relative emission hysteresis band (0 = default 5%)")
+		raw      = flag.Bool("raw", false, "disable smoothing and hysteresis (debugging; every sample posts)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-measurement timeout")
+	)
+	var sites []string
+	flag.Func("site", `mesh member as "name=udpaddr"; repeatable, at least two`, func(s string) error {
+		sites = append(sites, s)
+		return nil
+	})
+	flag.Parse()
+
+	roster := make(map[string]string, len(sites))
+	var names []string
+	for _, arg := range sites {
+		name, addr, ok := strings.Cut(arg, "=")
+		if !ok || name == "" || addr == "" {
+			fatal(fmt.Errorf("-site %q: want name=udpaddr", arg))
+		}
+		if _, dup := roster[name]; dup {
+			fatal(fmt.Errorf("-site %q: duplicate site name", arg))
+		}
+		roster[name] = addr
+		names = append(names, name)
+	}
+	if len(names) < 2 {
+		fatal(fmt.Errorf("need at least two -site flags to form a mesh"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Echo responders first: every agent's peers must answer before the
+	// first round. Binding resolves :0-style addresses, so transports are
+	// built from the bound addresses, not the flag values.
+	bound := make(map[string]string, len(names))
+	for _, name := range names {
+		echo, err := probe.ListenEcho(roster[name])
+		if err != nil {
+			fatal(fmt.Errorf("site %s: %w", name, err))
+		}
+		defer echo.Close()
+		bound[name] = echo.Addr()
+	}
+
+	batcher := probe.NewBatcher(&probe.HTTPPoster{URL: *target})
+	batcher.OnFlush = func(n int, err error) {
+		if err != nil {
+			log.Printf("quorumprobe: post of %d deltas failed: %v", n, err)
+			return
+		}
+		log.Printf("quorumprobe: posted %d deltas", n)
+	}
+
+	scfg := probe.SmootherConfig{Window: *window, Noise: *noise, Raw: *raw}
+	var wg sync.WaitGroup
+	for _, name := range names {
+		peers := make(map[string]string, len(names)-1)
+		var order []string
+		for _, p := range names {
+			if p != name {
+				peers[p] = bound[p]
+				order = append(order, p)
+			}
+		}
+		agent, err := probe.NewAgent(probe.AgentConfig{
+			Site:      name,
+			Peers:     order,
+			Transport: probe.NewUDPTransport(peers, *timeout),
+			Smoother:  scfg,
+			Timeout:   *timeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			agent.Run(ctx, *interval, batcher)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batcher.Run(ctx, *cadence)
+	}()
+
+	log.Printf("quorumprobe: %d-site mesh (%d pairs) probing every %s, posting to %s every %s",
+		len(names), len(names)*(len(names)-1)/2, *interval, *target, *cadence)
+	<-ctx.Done()
+	wg.Wait()
+	log.Printf("quorumprobe: mesh stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quorumprobe:", err)
+	os.Exit(1)
+}

@@ -29,6 +29,7 @@ import (
 
 	"github.com/quorumnet/quorumnet/internal/journal"
 	"github.com/quorumnet/quorumnet/internal/plan"
+	"github.com/quorumnet/quorumnet/internal/topology"
 )
 
 // Delta kinds accepted by the manager.
@@ -46,7 +47,21 @@ const (
 	// field Weights, site name → relative weight, unlisted sites weigh 1;
 	// an empty map restores uniform demand.
 	KindWeights = "weights"
+	// KindAddSite splices a new site into the deployment: fields Site
+	// (name), Region, Lat, Lon, AccessMS, and Value (capacity; 0 means
+	// the default capacity 1). RTTs to every existing site are
+	// synthesized with topology.EstimateRTT until probes measure them.
+	KindAddSite = "add-site"
+	// KindRemoveSite removes a site (outage, decommission): field Site.
+	KindRemoveSite = "remove-site"
 )
+
+// DefaultPeerAccessMS is the access-link delay assumed for the far end
+// when an add-site delta synthesizes RTTs to existing sites: existing
+// sites' access delays were folded into the pairwise metric at
+// generation time and are no longer individually known, so churn
+// tooling and the scenario engine share this nominal value.
+const DefaultPeerAccessMS = 2.0
 
 // Delta is one typed world change posted to the deployment. Exactly the
 // fields its Kind documents are meaningful; Validate rejects anything
@@ -59,10 +74,16 @@ type Delta struct {
 	// Site names the site of a "capacity" delta.
 	Site string `json:"site,omitempty"`
 	// Value carries the milliseconds ("rtt"), capacity ("capacity",
-	// "uniform-capacity"), or per-client demand ("demand").
+	// "uniform-capacity", "add-site"), or per-client demand ("demand").
 	Value float64 `json:"value,omitempty"`
 	// Weights carries the per-site weights of a "weights" delta.
 	Weights map[string]float64 `json:"weights,omitempty"`
+	// Region, Lat, Lon, and AccessMS describe the new site of an
+	// "add-site" delta (see topology.Site and topology.EstimateRTT).
+	Region   string  `json:"region,omitempty"`
+	Lat      float64 `json:"lat,omitempty"`
+	Lon      float64 `json:"lon,omitempty"`
+	AccessMS float64 `json:"access_ms,omitempty"`
 }
 
 // Validate checks the delta's shape (kind and values); site names are
@@ -104,6 +125,26 @@ func (d Delta) Validate() error {
 				return bad("invalid weight %v for site %q", w, site)
 			}
 		}
+	case KindAddSite:
+		if d.Site == "" {
+			return bad("needs a site name")
+		}
+		if !finite(d.Lat) || d.Lat < -90 || d.Lat > 90 {
+			return bad("invalid latitude %v", d.Lat)
+		}
+		if !finite(d.Lon) || d.Lon < -180 || d.Lon > 180 {
+			return bad("invalid longitude %v", d.Lon)
+		}
+		if d.AccessMS < 0 || !finite(d.AccessMS) {
+			return bad("invalid access delay %v ms", d.AccessMS)
+		}
+		if d.Value < 0 || !finite(d.Value) {
+			return bad("invalid capacity %v", d.Value)
+		}
+	case KindRemoveSite:
+		if d.Site == "" {
+			return bad("needs a site name")
+		}
 	case "":
 		return fmt.Errorf("deploy: delta kind missing")
 	default:
@@ -129,12 +170,23 @@ func (d Delta) key() string {
 }
 
 // supersedes reports whether applying d after e makes e's effect
-// unobservable, so e can be dropped from a batch.
+// unobservable, so e can be dropped from a batch. Membership deltas
+// (add-site/remove-site) never coalesce in either direction: their
+// validity depends on batch position ([add x, add x] must fail exactly
+// as it would applied sequentially), and they reset planner state
+// (weights, pins) that value deltas do not.
 func (d Delta) supersedes(e Delta) bool {
+	if d.membership() || e.membership() {
+		return false
+	}
 	if d.Kind == KindUniformCapacity && (e.Kind == KindCapacity || e.Kind == KindUniformCapacity) {
 		return true
 	}
 	return d.key() == e.key()
+}
+
+func (d Delta) membership() bool {
+	return d.Kind == KindAddSite || d.Kind == KindRemoveSite
 }
 
 // Coalesce collapses a batch: each delta drops any earlier delta it
@@ -203,6 +255,10 @@ type Manager struct {
 	applied  int
 	deltaLog []Delta
 	journal  *journal.Writer // optional durable batch log (see Recover)
+
+	// queued counts Apply calls in flight (holding or waiting on mu);
+	// see ApplyQueue.
+	queued atomic.Int64
 
 	cur atomic.Pointer[Entry]
 
@@ -314,23 +370,18 @@ var ErrReplan = fmt.Errorf("deploy: re-plan failed")
 // WAS applied but planning it failed. A batch that dirties nothing new
 // returns the current entry without publishing a new version.
 func (m *Manager) Apply(deltas []Delta) (*Entry, error) {
+	m.queued.Add(1)
+	defer m.queued.Add(-1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
 	batch := Coalesce(deltas)
-	for _, d := range batch {
-		if err := d.Validate(); err != nil {
-			return nil, err
-		}
-		for _, site := range d.sites() {
-			if m.p.SiteIndex(site) < 0 {
-				return nil, fmt.Errorf("deploy: %s delta: no site named %q", d.Kind, site)
-			}
-		}
+	if err := m.validateBatch(batch); err != nil {
+		return nil, err
 	}
 	before := m.p.PendingDeltas()
 	for _, d := range batch {
-		if err := d.applyTo(m.p); err != nil {
+		if err := d.ApplyTo(m.p); err != nil {
 			return nil, fmt.Errorf("deploy: applying %s delta: %w", d.Kind, err)
 		}
 	}
@@ -383,6 +434,52 @@ func (m *Manager) Apply(deltas []Delta) (*Entry, error) {
 	}
 	return entry, nil
 }
+
+// validateBatch checks every delta's shape and resolves site names
+// against the deployment, tracking the membership changes the batch
+// itself makes so an add-site'd site is referenceable later in the same
+// batch (and a removed one is not). A batch that fails here is rejected
+// without touching the planner. Called with mu held.
+func (m *Manager) validateBatch(batch []Delta) error {
+	members := make(map[string]bool, m.p.Size())
+	for i := 0; i < m.p.Size(); i++ {
+		members[m.p.Site(i).Name] = true
+	}
+	for _, d := range batch {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		switch d.Kind {
+		case KindAddSite:
+			if members[d.Site] {
+				return fmt.Errorf("deploy: add-site delta: site %q already exists", d.Site)
+			}
+			members[d.Site] = true
+		case KindRemoveSite:
+			if !members[d.Site] {
+				return fmt.Errorf("deploy: remove-site delta: no site named %q", d.Site)
+			}
+			if len(members) <= 2 {
+				// Mirror the planner's membership floor up front so the
+				// whole batch is rejected untouched.
+				return fmt.Errorf("deploy: remove-site delta: cannot remove %q: only %d sites left", d.Site, len(members))
+			}
+			delete(members, d.Site)
+		default:
+			for _, site := range d.sites() {
+				if !members[site] {
+					return fmt.Errorf("deploy: %s delta: no site named %q", d.Kind, site)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyQueue reports the number of Apply calls currently in flight:
+// the one holding the apply loop plus any queued behind it. Serving
+// layers use it as the backpressure signal for delta ingestion.
+func (m *Manager) ApplyQueue() int { return int(m.queued.Load()) }
 
 // replan runs the adaptation policy: free re-plans pass straight
 // through; placement-dirtying batches run the move-vs-hold comparison.
@@ -470,7 +567,9 @@ func mapTargets(snap *plan.Snapshot, p *plan.Planner) ([]int, bool) {
 	return out, true
 }
 
-// sites lists the site names a delta references (for validation).
+// sites lists the site names a non-membership delta references (for
+// validation; membership kinds are handled positionally by
+// validateBatch).
 func (d Delta) sites() []string {
 	switch d.Kind {
 	case KindRTT:
@@ -488,8 +587,11 @@ func (d Delta) sites() []string {
 	return nil
 }
 
-// applyTo mutates the planner with the (already validated) delta.
-func (d Delta) applyTo(p *plan.Planner) error {
+// ApplyTo mutates the planner with the (already validated) delta. It is
+// the single translation from wire deltas to planner mutations, used by
+// the manager's apply loop and by telemetry tooling (scenario streaming,
+// quorumgen) that mirrors a deployment on a local planner.
+func (d Delta) ApplyTo(p *plan.Planner) error {
 	switch d.Kind {
 	case KindRTT:
 		return p.SetRTT(p.SiteIndex(d.A), p.SiteIndex(d.B), d.Value)
@@ -511,6 +613,19 @@ func (d Delta) applyTo(p *plan.Planner) error {
 			w[p.SiteIndex(site)] = weight
 		}
 		return p.SetClientWeights(w)
+	case KindAddSite:
+		site := topology.Site{Name: d.Site, Region: d.Region, Lat: d.Lat, Lon: d.Lon}
+		rtts := make([]float64, p.Size())
+		for i := range rtts {
+			rtts[i] = topology.EstimateRTT(site, p.Site(i), 0, d.AccessMS, DefaultPeerAccessMS)
+		}
+		capacity := d.Value
+		if capacity == 0 {
+			capacity = 1
+		}
+		return p.AddSite(site, rtts, capacity)
+	case KindRemoveSite:
+		return p.RemoveSite(d.Site)
 	default:
 		return fmt.Errorf("unknown kind %q", d.Kind)
 	}

@@ -475,7 +475,7 @@ func TestManagerConcurrent(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, d := range log[:e.Applied] {
-			if err := d.applyTo(cold); err != nil {
+			if err := d.ApplyTo(cold); err != nil {
 				t.Fatal(err)
 			}
 		}

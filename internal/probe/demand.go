@@ -1,0 +1,170 @@
+package probe
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/quorumnet/quorumnet/internal/deploy"
+)
+
+// ReporterConfig tunes the demand reporter.
+type ReporterConfig struct {
+	// DemandPerRequest converts a window's total request count into the
+	// per-client demand value (default 1): demand = total × this.
+	DemandPerRequest float64
+	// Noise is the relative hysteresis band (default 5%): demand and
+	// per-site weights are re-emitted only when they move more than this
+	// fraction from the last emitted values.
+	Noise float64
+	// WeightFloor is the weight reported for a site that received no
+	// requests this window (default 0.01). Weights must stay positive —
+	// a silent site is a cold site, not a nonexistent one.
+	WeightFloor float64
+}
+
+func (c ReporterConfig) demandPerRequest() float64 {
+	if c.DemandPerRequest <= 0 {
+		return 1
+	}
+	return c.DemandPerRequest
+}
+
+func (c ReporterConfig) noise() float64 {
+	if c.Noise <= 0 {
+		return 0.05
+	}
+	return c.Noise
+}
+
+func (c ReporterConfig) weightFloor() float64 {
+	if c.WeightFloor <= 0 {
+		return 0.01
+	}
+	return c.WeightFloor
+}
+
+// Reporter aggregates per-site client request counts into windowed
+// demand/weights deltas: total volume becomes a demand delta, the
+// per-site distribution (normalized to mean 1 over the sites ever
+// seen) becomes a weights delta. Both pass through relative-change
+// hysteresis so steady traffic emits nothing. Safe for concurrent
+// Observe calls; Flush is called by the posting loop once per window.
+type Reporter struct {
+	cfg ReporterConfig
+
+	mu     sync.Mutex
+	counts map[string]float64 // this window's requests per site
+	roster map[string]bool    // every site ever observed
+
+	emittedDemand  float64
+	emittedWeights map[string]float64
+	hasEmitted     bool
+}
+
+// NewReporter builds a reporter.
+func NewReporter(cfg ReporterConfig) *Reporter {
+	return &Reporter{
+		cfg:    cfg,
+		counts: make(map[string]float64),
+		roster: make(map[string]bool),
+	}
+}
+
+// Observe records n client requests attributed to site.
+func (r *Reporter) Observe(site string, n int) {
+	if n <= 0 || site == "" {
+		return
+	}
+	r.mu.Lock()
+	r.counts[site] += float64(n)
+	r.roster[site] = true
+	r.mu.Unlock()
+}
+
+// Flush closes the current window: it derives demand and weights from
+// the window's counts, resets the counts, and returns the deltas that
+// cleared hysteresis (often none). An empty window returns nothing —
+// no observations is missing telemetry, not zero demand.
+func (r *Reporter) Flush() []deploy.Delta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counts) == 0 {
+		return nil
+	}
+
+	total := 0.0
+	for _, c := range r.counts {
+		total += c
+	}
+	demand := total * r.cfg.demandPerRequest()
+
+	// Normalize the distribution over every site ever seen to mean 1,
+	// flooring silent sites: deploy treats weights as relative demand
+	// shares, and mean 1 keeps demand × weights consistent with the
+	// uniform baseline.
+	names := make([]string, 0, len(r.roster))
+	for site := range r.roster {
+		names = append(names, site)
+	}
+	sort.Strings(names)
+	mean := total / float64(len(names))
+	weights := make(map[string]float64, len(names))
+	for _, site := range names {
+		w := r.counts[site] / mean
+		if w < r.cfg.weightFloor() {
+			w = r.cfg.weightFloor()
+		}
+		weights[site] = w
+	}
+	for site := range r.counts {
+		delete(r.counts, site)
+	}
+
+	var out []deploy.Delta
+	if r.changed(demand, weights) {
+		out = append(out,
+			deploy.Delta{Kind: deploy.KindDemand, Value: demand},
+			deploy.Delta{Kind: deploy.KindWeights, Weights: weights},
+		)
+		r.emittedDemand = demand
+		r.emittedWeights = weights
+		r.hasEmitted = true
+	}
+	return out
+}
+
+// changed applies the hysteresis band to the window's demand and
+// weights against the last emitted pair.
+func (r *Reporter) changed(demand float64, weights map[string]float64) bool {
+	if !r.hasEmitted {
+		return true
+	}
+	noise := r.cfg.noise()
+	if relChange(demand, r.emittedDemand) > noise {
+		return true
+	}
+	if len(weights) != len(r.emittedWeights) {
+		return true
+	}
+	for site, w := range weights {
+		prev, ok := r.emittedWeights[site]
+		if !ok || relChange(w, prev) > noise {
+			return true
+		}
+	}
+	return false
+}
+
+func relChange(v, prev float64) float64 {
+	if prev == 0 {
+		if v == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (v - prev) / prev
+	if d < 0 {
+		return -d
+	}
+	return d
+}

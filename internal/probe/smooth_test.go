@@ -1,0 +1,96 @@
+package probe
+
+import (
+	"math"
+	"testing"
+)
+
+func observeAll(s *Smoother, samples []float64) (emitted []float64) {
+	for _, v := range samples {
+		if e, ok := s.Observe(v); ok {
+			emitted = append(emitted, e)
+		}
+	}
+	return emitted
+}
+
+func TestSmootherWarmupEmitsMedian(t *testing.T) {
+	s := NewSmoother(SmootherConfig{Window: 5})
+	got := observeAll(s, []float64{50, 52, 48, 51, 49})
+	if len(got) != 1 || got[0] != 50 {
+		t.Fatalf("warmup emissions %v, want [50]", got)
+	}
+}
+
+func TestSmootherHysteresisAbsorbsNoise(t *testing.T) {
+	s := NewSmoother(SmootherConfig{Window: 5, Noise: 0.05, NoiseFloorMS: 0.5})
+	if got := observeAll(s, []float64{50, 50.3, 49.7, 50.2, 49.8}); len(got) != 1 {
+		t.Fatalf("warmup emissions %v", got)
+	}
+	// ±0.4ms wiggle on a 50ms link stays far inside the 5% band.
+	if got := observeAll(s, []float64{50.4, 49.6, 50.1, 49.9, 50.2, 49.8, 50.3, 49.7}); len(got) != 0 {
+		t.Fatalf("noise emitted %v, want nothing", got)
+	}
+	// A real drift beyond the band re-emits (after the MAD gate's
+	// level-shift run and the window refill).
+	drift := make([]float64, 12)
+	for i := range drift {
+		drift[i] = 56
+	}
+	if got := observeAll(s, drift); len(got) == 0 {
+		t.Fatal("drift beyond the band never emitted")
+	}
+}
+
+func TestSmootherRejectsSpikes(t *testing.T) {
+	s := NewSmoother(SmootherConfig{Window: 5, MADGate: 4, Noise: 0.05})
+	observeAll(s, []float64{50, 50.2, 49.8, 50.1, 49.9})
+	// A 10× spike must neither emit nor drag the median.
+	if got := observeAll(s, []float64{500, 50, 500, 49.9, 50.1}); len(got) != 0 {
+		t.Fatalf("spikes emitted %v", got)
+	}
+}
+
+func TestSmootherLevelShiftRecovers(t *testing.T) {
+	s := NewSmoother(SmootherConfig{Window: 5, MADGate: 4, ShiftRuns: 3, Noise: 0.05})
+	observeAll(s, []float64{50, 50.2, 49.8, 50.1, 49.9})
+	// The path changed: every new sample is ~80ms. The first ShiftRuns
+	// samples are rejected as outliers, then the window flushes and the
+	// smoother converges on the new level.
+	got := observeAll(s, []float64{80, 80.2, 79.8, 80.1, 79.9, 80, 80.2, 79.9})
+	if len(got) == 0 {
+		t.Fatal("level shift never emitted")
+	}
+	if last := got[len(got)-1]; math.Abs(last-80) > 1 {
+		t.Fatalf("re-converged at %v, want ~80", last)
+	}
+}
+
+func TestSmootherRawPassthrough(t *testing.T) {
+	s := NewSmoother(SmootherConfig{Raw: true})
+	in := []float64{50, 500, 49, 51}
+	got := observeAll(s, in)
+	if len(got) != len(in) {
+		t.Fatalf("raw mode emitted %v, want every sample", got)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("raw mode altered sample %d: %v != %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestSmootherConstantWindowToleratesWiggle(t *testing.T) {
+	// A perfectly constant window has MAD 0; the floor keeps ordinary
+	// sub-noise wiggle from being rejected as outliers forever.
+	s := NewSmoother(SmootherConfig{Window: 5, MADGate: 4, Noise: 0.05, NoiseFloorMS: 0.5})
+	observeAll(s, []float64{50, 50, 50, 50, 50})
+	for i := 0; i < 20; i++ {
+		if _, ok := s.Observe(50.1); ok {
+			t.Fatal("sub-band wiggle emitted")
+		}
+	}
+	if s.outlierRun != 0 {
+		t.Fatalf("wiggle counted as outliers: run %d", s.outlierRun)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"github.com/quorumnet/quorumnet/internal/core"
+	"github.com/quorumnet/quorumnet/internal/deploy"
 	"github.com/quorumnet/quorumnet/internal/faults"
 	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/placement"
@@ -645,8 +646,12 @@ func applyWeights(p *plan.Planner, ws *WeightsStep) error {
 
 // defaultPeerAccessMS stands in for an existing site's unrecorded
 // access-link delay when splicing a new site in (the generators draw
-// access delays from roughly 0.5–8 ms).
-const defaultPeerAccessMS = 2.0
+// access delays from roughly 0.5–8 ms). It aliases the deploy layer's
+// constant: an add-site step applied here and an add-site delta applied
+// to a live deployment must synthesize identical RTTs, or the exported
+// timeline stream (TimelineStream) would diverge from the engine's
+// table.
+const defaultPeerAccessMS = deploy.DefaultPeerAccessMS
 
 func applyStep(p *plan.Planner, step Step) error {
 	if step.Demand != nil {

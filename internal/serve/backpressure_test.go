@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/quorumnet/quorumnet/internal/deploy"
+	"github.com/quorumnet/quorumnet/internal/plan"
+	"github.com/quorumnet/quorumnet/internal/topology"
+)
+
+func backpressureServer(t *testing.T, opts Options) (*Server, *deploy.Manager) {
+	t.Helper()
+	topo, err := topology.Generate(topology.GenConfig{
+		Name:      "bp-test-9",
+		Inflation: 1.4,
+		Regions: []topology.RegionSpec{
+			{Name: "west", Count: 3, LatMin: 34, LatMax: 46, LonMin: -122, LonMax: -115, AccessMin: 1, AccessMax: 4},
+			{Name: "east", Count: 3, LatMin: 35, LatMax: 44, LonMin: -80, LonMax: -71, AccessMin: 1, AccessMax: 4},
+			{Name: "eu", Count: 3, LatMin: 44, LatMax: 55, LonMin: -2, LonMax: 15, AccessMin: 1, AccessMax: 4},
+		},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.New(topo, plan.Config{
+		System:   plan.SystemSpec{Family: "grid", Param: 2},
+		Strategy: plan.StratLP,
+		Demand:   8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := deploy.New(p, deploy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, opts), m
+}
+
+// TestDeltasBackpressure is the 429 satellite: POST /v1/deltas beyond
+// the apply-queue bound is rejected with 429 + Retry-After instead of
+// queueing unboundedly behind an in-flight re-plan, and the tenant
+// counts the throttle.
+func TestDeltasBackpressure(t *testing.T) {
+	srv, m := backpressureServer(t, Options{MaxApplyQueue: 2})
+	tn := srv.Tenant()
+
+	post := func() int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, "/v1/deltas",
+			strings.NewReader(`{"deltas":[{"kind":"demand","value":9000}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		tn.handleDeltas(rec, req)
+		return rec.Code
+	}
+
+	// Saturate the queue as concurrent in-flight posts would, then post:
+	// the bound rejects without touching the manager.
+	before := m.Current().Snapshot.Version
+	tn.inflight.Store(2)
+	rec := func() *httptest.ResponseRecorder {
+		req, err := http.NewRequest(http.MethodPost, "/v1/deltas",
+			strings.NewReader(`{"deltas":[{"kind":"demand","value":9000}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := httptest.NewRecorder()
+		tn.handleDeltas(r, req)
+		return r
+	}()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d with saturated queue, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", got)
+	}
+	if got := m.Current().Snapshot.Version; got != before {
+		t.Fatalf("throttled post still applied: version %d", got)
+	}
+	if got := tn.Stats().Throttled; got != 1 {
+		t.Fatalf("throttled counter %d, want 1", got)
+	}
+	if got := tn.inflight.Load(); got != 2 {
+		t.Fatalf("rejected post leaked inflight: %d, want 2", got)
+	}
+
+	// Drain the queue; the same post now lands.
+	tn.inflight.Store(0)
+	if code := post(); code != http.StatusOK {
+		t.Fatalf("status %d with drained queue, want 200", code)
+	}
+	if got := tn.inflight.Load(); got != 0 {
+		t.Fatalf("accepted post leaked inflight: %d, want 0", got)
+	}
+	if got := m.Current().Snapshot.Version; got != before+1 {
+		t.Fatalf("version %d after accepted post, want %d", got, before+1)
+	}
+}
+
+// TestDeltaStaleness: the tenant's delta_age_ms gauge starts undefined
+// (-1), resets on every accepted batch, and then grows — the signal a
+// staleness monitor alarms on when probes die.
+func TestDeltaStaleness(t *testing.T) {
+	srv, _ := backpressureServer(t, Options{})
+	tn := srv.Tenant()
+
+	if got := tn.Stats().DeltaAgeMS; got != -1 {
+		t.Fatalf("initial delta age %v, want -1", got)
+	}
+	req, err := http.NewRequest(http.MethodPost, "/v1/deltas",
+		strings.NewReader(`{"deltas":[{"kind":"demand","value":12000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	tn.handleDeltas(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post status %d", rec.Code)
+	}
+	age := tn.Stats().DeltaAgeMS
+	if age < 0 || age > 60_000 {
+		t.Fatalf("delta age after post = %v ms, want small and non-negative", age)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if later := tn.Stats().DeltaAgeMS; later <= age {
+		t.Fatalf("delta age did not grow: %v then %v", age, later)
+	}
+
+	// A malformed batch must not reset the staleness clock.
+	stale := tn.lastDeltaNS.Load()
+	req, err = http.NewRequest(http.MethodPost, "/v1/deltas", strings.NewReader(`{"deltas":[{"kind":"bogus"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	tn.handleDeltas(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus post status %d", rec.Code)
+	}
+	if tn.lastDeltaNS.Load() != stale {
+		t.Fatal("rejected batch reset the staleness clock")
+	}
+}

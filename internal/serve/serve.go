@@ -46,6 +46,12 @@ import (
 // when Options.MaxWatchers is zero.
 const DefaultMaxWatchers = 1 << 20
 
+// DefaultMaxApplyQueue caps delta batches queued behind the manager's
+// serialized apply loop when Options.MaxApplyQueue is zero. Re-plans
+// take milliseconds, so a queue this deep means ingestion is outrunning
+// planning and posters should back off and re-coalesce.
+const DefaultMaxApplyQueue = 64
+
 // Options tunes the server.
 type Options struct {
 	// MaxWait caps a long-poll's ?timeout (default 30s).
@@ -54,6 +60,11 @@ type Options struct {
 	// (default DefaultMaxWatchers); beyond it polls are rejected with
 	// 503 + Retry-After instead of growing the parked set without bound.
 	MaxWatchers int
+	// MaxApplyQueue caps delta batches in flight (applying or queued on
+	// the manager's apply loop) per tenant (default DefaultMaxApplyQueue);
+	// beyond it POST deltas is rejected with 429 + Retry-After instead of
+	// queueing unboundedly behind an in-flight re-plan.
+	MaxApplyQueue int
 }
 
 func (o Options) maxWait() time.Duration {
@@ -68,6 +79,13 @@ func (o Options) maxWatchers() int {
 		return DefaultMaxWatchers
 	}
 	return o.MaxWatchers
+}
+
+func (o Options) maxApplyQueue() int {
+	if o.MaxApplyQueue <= 0 {
+		return DefaultMaxApplyQueue
+	}
+	return o.MaxApplyQueue
 }
 
 // Server serves one deployment: the single-tenant view, kept for the

@@ -45,16 +45,25 @@ type Tenant struct {
 	// parked counts watchers currently parked on the epoch channel; the
 	// Options.MaxWatchers cap rejects parks beyond it with 503.
 	parked atomic.Int64
+	// inflight counts POST deltas requests between decode and apply
+	// completion; the Options.MaxApplyQueue cap rejects posts beyond it
+	// with 429 instead of queueing unboundedly on the apply loop.
+	inflight atomic.Int64
 
 	reads        atomic.Uint64
 	notModified  atomic.Uint64
 	parks        atomic.Uint64
 	wakeups      atomic.Uint64
 	rejected     atomic.Uint64
+	throttled    atomic.Uint64
 	deltaBatches atomic.Uint64
 	deltaErrors  atomic.Uint64
 	replanNS     atomic.Int64
 	lastReplanNS atomic.Int64
+	// lastDeltaNS is the wall-clock unix nanos of the last accepted delta
+	// batch — the freshness of the newest probe input this tenant has
+	// seen (0 until the first batch).
+	lastDeltaNS atomic.Int64
 }
 
 func newTenant(name string, m *deploy.Manager, opts Options, w *wheel) *Tenant {
@@ -136,10 +145,22 @@ type TenantStats struct {
 	DeltaErrors   uint64  `json:"delta_errors"`
 	ReplanLastMS  float64 `json:"replan_last_ms"`
 	ReplanTotalMS float64 `json:"replan_total_ms"`
+	// ApplyQueue is the current number of delta posts in flight on the
+	// apply loop; Throttled counts the 429s the MaxApplyQueue cap issued.
+	ApplyQueue int64  `json:"apply_queue"`
+	Throttled  uint64 `json:"throttled"`
+	// DeltaAgeMS is the staleness bound signal: milliseconds since the
+	// newest accepted delta batch (-1 until telemetry first arrives). A
+	// deployment whose probes die shows this growing without bound.
+	DeltaAgeMS float64 `json:"delta_age_ms"`
 }
 
 // Stats snapshots the tenant's counters.
 func (t *Tenant) Stats() TenantStats {
+	age := -1.0
+	if last := t.lastDeltaNS.Load(); last > 0 {
+		age = float64(time.Now().UnixNano()-last) / 1e6
+	}
 	return TenantStats{
 		Name:          t.name,
 		Version:       t.m.Current().Snapshot.Version,
@@ -153,6 +174,9 @@ func (t *Tenant) Stats() TenantStats {
 		DeltaErrors:   t.deltaErrors.Load(),
 		ReplanLastMS:  float64(t.lastReplanNS.Load()) / 1e6,
 		ReplanTotalMS: float64(t.replanNS.Load()) / 1e6,
+		ApplyQueue:    t.inflight.Load(),
+		Throttled:     t.throttled.Load(),
+		DeltaAgeMS:    age,
 	}
 }
 
@@ -258,6 +282,18 @@ func (t *Tenant) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Backpressure before decode: the apply loop is serialized, so posts
+	// beyond the queue bound would stack up behind an in-flight re-plan.
+	// Same inc-then-check pattern as the watcher cap — the transient
+	// overshoot by concurrent rejected requests is harmless.
+	if n := t.inflight.Add(1); n > int64(t.opts.maxApplyQueue()) {
+		t.inflight.Add(-1)
+		t.throttled.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "apply queue full")
+		return
+	}
+	defer t.inflight.Add(-1)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	var req DeltasRequest
@@ -281,15 +317,18 @@ func (t *Tenant) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		// A malformed batch is rejected untouched (400); a batch that
 		// applied but cannot be planned (e.g. LP infeasible under the
 		// new capacities) is a conflict with the deployment's state —
-		// the previous snapshot keeps being served.
+		// the previous snapshot keeps being served. An applied batch is
+		// fresh telemetry either way, so the staleness clock resets.
 		status := http.StatusBadRequest
 		if errors.Is(err, deploy.ErrReplan) {
 			status = http.StatusConflict
+			t.lastDeltaNS.Store(time.Now().UnixNano())
 		}
 		httpError(w, status, err.Error())
 		return
 	}
 	t.deltaBatches.Add(1)
+	t.lastDeltaNS.Store(time.Now().UnixNano())
 	writeJSON(w, http.StatusOK, &DeltasResponse{
 		Version:    entry.Snapshot.Version,
 		ResponseMS: entry.Snapshot.Response,

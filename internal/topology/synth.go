@@ -124,11 +124,20 @@ func newDistMatrix(sites []Site, access []float64, cfg GenConfig, rng *rand.Rand
 // routing, plus the per-site access delay at both ends. It lets callers
 // splice new sites into an existing topology (site churn) when no
 // measurement is available. inflation ≤ 0 defaults to 1.4.
+//
+// The estimate is exactly symmetric: EstimateRTT(a, b, i, accessA,
+// accessB) == EstimateRTT(b, a, i, accessB, accessA) bit for bit.
+// Probe agents and churn tooling fill in missing pairs from whichever
+// end they run on; an asymmetric estimate would silently violate the
+// IsMetric/closure assumptions downstream. The haversine term is
+// symmetric by construction, and the access delays are summed inside
+// parentheses so IEEE addition order does not depend on argument
+// order.
 func EstimateRTT(a, b Site, inflation, accessA, accessB float64) float64 {
 	if inflation <= 0 {
 		inflation = 1.4
 	}
-	rtt := 2*greatCircleKM(a, b)/fiberKMPerMS*inflation + accessA + accessB
+	rtt := 2*greatCircleKM(a, b)/fiberKMPerMS*inflation + (accessA + accessB)
 	if rtt < 0.1 {
 		rtt = 0.1
 	}

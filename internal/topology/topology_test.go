@@ -202,6 +202,33 @@ func TestGenerateRTTProperty(t *testing.T) {
 	}
 }
 
+func TestEstimateRTTSymmetry(t *testing.T) {
+	// Property: the estimate is exactly symmetric under swapping the two
+	// sites along with their access delays. Probe agents fill in missing
+	// pairs from either end, so even a one-ULP asymmetry would poison the
+	// metric-closure assumptions.
+	f := func(latA, lonA, latB, lonB, accA, accB, infl uint16) bool {
+		a := Site{Name: "a", Lat: float64(latA)/400 - 80, Lon: float64(lonA)/200 - 160}
+		b := Site{Name: "b", Lat: float64(latB)/400 - 80, Lon: float64(lonB)/200 - 160}
+		inflation := 1 + float64(infl)/65536 // [1, 2)
+		accessA := float64(accA) / 4096      // [0, 16)
+		accessB := float64(accB) / 4096
+		ab := EstimateRTT(a, b, inflation, accessA, accessB)
+		ba := EstimateRTT(b, a, inflation, accessB, accessA)
+		return ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Pin one concrete regression pair: distinct access delays whose sum
+	// order used to change the low bits of the result.
+	a := Site{Name: "ny", Lat: 40.7, Lon: -74.0}
+	b := Site{Name: "ldn", Lat: 51.5, Lon: -0.1}
+	if ab, ba := EstimateRTT(a, b, 1.4, 1.3, 5.7), EstimateRTT(b, a, 1.4, 5.7, 1.3); ab != ba {
+		t.Errorf("EstimateRTT asymmetric: %v != %v", ab, ba)
+	}
+}
+
 func TestStatsRegions(t *testing.T) {
 	tp := PlanetLab50(DefaultSeed)
 	st := tp.Stats()

@@ -37,6 +37,7 @@ package quorumnet
 
 import (
 	"io"
+	"time"
 
 	"github.com/quorumnet/quorumnet/internal/core"
 	"github.com/quorumnet/quorumnet/internal/deploy"
@@ -47,6 +48,7 @@ import (
 	"github.com/quorumnet/quorumnet/internal/lp"
 	"github.com/quorumnet/quorumnet/internal/placement"
 	"github.com/quorumnet/quorumnet/internal/plan"
+	"github.com/quorumnet/quorumnet/internal/probe"
 	"github.com/quorumnet/quorumnet/internal/protocol"
 	"github.com/quorumnet/quorumnet/internal/quorum"
 	"github.com/quorumnet/quorumnet/internal/scenario"
@@ -443,6 +445,8 @@ const (
 	DeltaUniformCapacity = deploy.KindUniformCapacity
 	DeltaDemand          = deploy.KindDemand
 	DeltaWeights         = deploy.KindWeights
+	DeltaAddSite         = deploy.KindAddSite
+	DeltaRemoveSite      = deploy.KindRemoveSite
 )
 
 // NewDeployment wraps a planner (which must not be used elsewhere
@@ -586,6 +590,107 @@ type ScenarioPoint = scenario.Point
 // the fleet wire format (it serializes through the Table's stable JSON
 // encoding).
 type ScenarioPartial = scenario.Partial
+
+// StreamStep is one timeline step exported as a replayable delta batch
+// — what quorumgen posts to a live deployment per step.
+type StreamStep = scenario.StreamStep
+
+// TimelineStream compiles a timeline scenario's steps into delta
+// batches: applying each batch to a deployment seeded with
+// TimelinePlanner drives it through exactly the states the scenario
+// engine's table records, row for row (asserted by test for every
+// library timeline). It is the bridge between declarative workloads and
+// live deployments — the quorumgen replayer is a thin CLI over it.
+func TimelineStream(spec *Scenario, cfg ScenarioConfig) ([]StreamStep, error) {
+	return scenario.TimelineStream(spec, cfg)
+}
+
+// TimelinePlanner builds the planner a timeline scenario starts from,
+// so a Deployment created around it begins in the state the scenario's
+// "initial" row reports.
+func TimelinePlanner(spec *Scenario, cfg ScenarioConfig) (*Planner, error) {
+	return scenario.TimelinePlanner(spec, cfg)
+}
+
+// ProbeAgent measures one row of an N×N RTT ping mesh: each round it
+// probes its peers over its transport, feeds each sample through a
+// per-pair smoother (windowed median, MAD spike rejection, emission
+// hysteresis), and emits rtt deltas only when a link's smoothed value
+// genuinely moves — so a noisy-but-stationary mesh emits nothing after
+// its warmup baselines, and measurement noise never reaches the
+// planner (asserted by test: 0 placement moves over 100 noisy rounds
+// with smoothing on, >0 with it off).
+type ProbeAgent = probe.Agent
+
+// ProbeAgentConfig configures a ProbeAgent: local site, peer roster,
+// transport, smoothing, and per-measurement timeout.
+type ProbeAgentConfig = probe.AgentConfig
+
+// ProbeSmoother tunes the per-pair sample filter of a ProbeAgent
+// (window length, MAD gate, level-shift recovery, hysteresis band).
+type ProbeSmoother = probe.SmootherConfig
+
+// ProbeTransport measures one peer's RTT; implementations are the UDP
+// echo transport (NewUDPProbeTransport) and the deterministic fake
+// mesh (NewFakeMesh) for tests and simulations.
+type ProbeTransport = probe.Transport
+
+// NewProbeAgent validates the configuration and builds an agent.
+func NewProbeAgent(cfg ProbeAgentConfig) (*ProbeAgent, error) { return probe.NewAgent(cfg) }
+
+// NewUDPProbeTransport measures peers by round-tripping nonce-tagged
+// datagrams against their UDP echo responders (ListenProbeEcho).
+func NewUDPProbeTransport(peers map[string]string, timeout time.Duration) *probe.UDPTransport {
+	return probe.NewUDPTransport(peers, timeout)
+}
+
+// ListenProbeEcho starts a UDP echo responder for the probe mesh.
+func ListenProbeEcho(addr string) (*probe.EchoServer, error) { return probe.ListenEcho(addr) }
+
+// NewFakeMesh builds a deterministic in-process probe transport with
+// programmable pair RTTs, noise, and failures — the unit under the
+// hysteresis regression tests.
+func NewFakeMesh(seed int64) *probe.FakeMesh { return probe.NewFakeMesh(seed) }
+
+// DemandReporter aggregates per-site client request counts into
+// windowed demand/weights deltas with relative-change hysteresis:
+// steady traffic emits nothing, an empty window emits nothing (missing
+// telemetry is not zero demand), and silent sites keep a positive
+// floor weight.
+type DemandReporter = probe.Reporter
+
+// DemandReporterConfig tunes a DemandReporter.
+type DemandReporterConfig = probe.ReporterConfig
+
+// NewDemandReporter builds a reporter.
+func NewDemandReporter(cfg DemandReporterConfig) *DemandReporter { return probe.NewReporter(cfg) }
+
+// DeltaBatcher is the client-side debouncer between delta producers
+// (probe agents, demand reporters) and a deployment: it coalesces
+// added deltas locally (CoalesceDeltas semantics) and posts one batch
+// per cadence window — never mid-window — re-queueing batches on
+// transient failures so newer values still supersede them.
+type DeltaBatcher = probe.Batcher
+
+// DeltaPoster posts one coalesced batch to a deployment; HTTPDeltaPoster
+// targets a quorumd deltas endpoint with bounded retry/backoff honoring
+// Retry-After, and ManagerDeltaPoster applies in-process.
+type DeltaPoster = probe.Poster
+
+// ManagerDeltaPoster applies delta batches straight to an in-process
+// Deployment — the no-HTTP path for simulations and embedded use.
+type ManagerDeltaPoster = probe.ManagerPoster
+
+// DeltaPostFunc adapts a function to the DeltaPoster interface.
+type DeltaPostFunc = probe.PostFunc
+
+// HTTPDeltaPoster posts delta batches to a quorumd deltas endpoint
+// with bounded retry and exponential backoff; 429/503 backpressure
+// re-coalesces locally instead of hammering a busy apply loop.
+type HTTPDeltaPoster = probe.HTTPPoster
+
+// NewDeltaBatcher builds a batcher over the given poster.
+func NewDeltaBatcher(p DeltaPoster) *DeltaBatcher { return probe.NewBatcher(p) }
 
 // ScenarioProgress is one point-completion event delivered to
 // ScenarioConfig.Progress.
